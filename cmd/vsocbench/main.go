@@ -1,0 +1,112 @@
+// Command vsocbench regenerates the paper's evaluation tables and figures
+// (§5): the SVM microbenchmarks of Table 2, the FPS and motion-to-photon
+// comparisons of Figs. 10-15, the ablation breakdowns, the prediction and
+// overhead reports of §5.2, and the write-invalidate CDF of Fig. 16.
+//
+// Usage:
+//
+//	vsocbench [-exp all|table1|table2|fig10|fig11|fig12|fig13|fig14|fig15|fig16|prediction|overhead|popablation]
+//	          [-duration 30s] [-apps 10] [-popular 25] [-seed 1]
+//
+// Figure 13 prints with fig10 and figure 14 with fig11 (same runs).
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+	"time"
+
+	"repro/internal/experiments"
+)
+
+func main() {
+	exp := flag.String("exp", "all", "experiment to run (all, table1, table2, fig10-fig16, prediction, overhead, popablation, services, protocols, thermal, resolution)")
+	duration := flag.Duration("duration", 30*time.Second, "simulated duration per app")
+	apps := flag.Int("apps", 10, "apps per emerging category")
+	popular := flag.Int("popular", 25, "popular apps to run")
+	seed := flag.Int64("seed", 1, "simulation seed")
+	flag.Parse()
+
+	cfg := experiments.Config{
+		Duration:        *duration,
+		AppsPerCategory: *apps,
+		PopularApps:     *popular,
+		Seed:            *seed,
+	}
+
+	run := func(name string, fn func()) {
+		if *exp == "all" || *exp == name {
+			start := time.Now()
+			fn()
+			fmt.Printf("[%s in %.1fs]\n\n", name, time.Since(start).Seconds())
+		}
+	}
+
+	run("table1", func() {
+		fmt.Print(experiments.FormatTable1(experiments.Table1()))
+	})
+	run("table2", func() {
+		fmt.Print(experiments.FormatTable2(experiments.RunTable2(cfg)))
+	})
+	ranHigh := false
+	run("fig10", func() {
+		fmt.Print(experiments.FormatEmerging(experiments.RunEmergingSweep(cfg, experiments.HighEnd), "10", "13"))
+		ranHigh = true
+	})
+	if !ranHigh {
+		run("fig13", func() {
+			fmt.Print(experiments.FormatEmerging(experiments.RunEmergingSweep(cfg, experiments.HighEnd), "10", "13"))
+		})
+	}
+	ranMid := false
+	run("fig11", func() {
+		fmt.Print(experiments.FormatEmerging(experiments.RunEmergingSweep(cfg, experiments.MidEnd), "11", "14"))
+		ranMid = true
+	})
+	if !ranMid {
+		run("fig14", func() {
+			fmt.Print(experiments.FormatEmerging(experiments.RunEmergingSweep(cfg, experiments.MidEnd), "11", "14"))
+		})
+	}
+	run("fig12", func() {
+		fmt.Print(experiments.FormatAblation(experiments.RunAblation(cfg)))
+	})
+	run("fig15", func() {
+		fmt.Print(experiments.FormatPopular(experiments.RunPopular(cfg)))
+	})
+	run("popablation", func() {
+		fmt.Print(experiments.FormatPopularAblation(experiments.RunPopularAblation(cfg)))
+	})
+	run("prediction", func() {
+		fmt.Print(experiments.FormatPrediction(experiments.RunPrediction(cfg)))
+	})
+	run("overhead", func() {
+		fmt.Print(experiments.FormatOverhead(experiments.RunOverhead(cfg)))
+	})
+	run("fig16", func() {
+		fmt.Print(experiments.FormatFig16(experiments.RunFig16(cfg)))
+	})
+	run("services", func() {
+		fmt.Print(experiments.FormatServices(experiments.RunServices(cfg)))
+	})
+	run("protocols", func() {
+		fmt.Print(experiments.FormatProtocols(experiments.RunProtocols(cfg)))
+	})
+	run("thermal", func() {
+		fmt.Print(experiments.FormatThermal(experiments.RunThermal(cfg)))
+	})
+	run("resolution", func() {
+		fmt.Print(experiments.FormatResolution(experiments.RunResolutionSweep(cfg)))
+	})
+
+	switch *exp {
+	case "all", "table1", "table2", "fig10", "fig11", "fig12", "fig13", "fig14",
+		"fig15", "fig16", "prediction", "overhead", "popablation",
+		"services", "protocols", "thermal", "resolution":
+	default:
+		fmt.Fprintf(os.Stderr, "unknown experiment %q\n", *exp)
+		flag.Usage()
+		os.Exit(2)
+	}
+}

@@ -1,0 +1,127 @@
+// Command vsocsim runs one app on one emulator on one machine and prints
+// the result plus the SVM framework's internal statistics — the quickest way
+// to poke at the system.
+//
+// Usage:
+//
+//	vsocsim [-emulator vsoc|gae|qemu|ldplayer|bluestacks|trinity|vsoc-noprefetch|vsoc-nofence]
+//	        [-machine highend|midend|pixel]
+//	        [-app uhd|360|camera|ar|livestream|heavy3d|ui|social]
+//	        [-duration 30s] [-seed 1] [-v]
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+	"strings"
+	"time"
+
+	"repro/internal/emulator"
+	"repro/internal/experiments"
+	"repro/internal/workload"
+)
+
+var presetsByName = map[string]func() emulator.Preset{
+	"vsoc":            emulator.VSoC,
+	"gae":             emulator.GAE,
+	"qemu":            emulator.QEMUKVM,
+	"ldplayer":        emulator.LDPlayer,
+	"bluestacks":      emulator.Bluestacks,
+	"trinity":         emulator.Trinity,
+	"vsoc-noprefetch": emulator.VSoCNoPrefetch,
+	"vsoc-nofence":    emulator.VSoCNoFence,
+	"native":          emulator.NativeDevice,
+}
+
+var machinesByName = map[string]experiments.MachineSpec{
+	"highend": experiments.HighEnd,
+	"midend":  experiments.MidEnd,
+	"pixel":   experiments.Pixel,
+}
+
+func main() {
+	emuName := flag.String("emulator", "vsoc", "emulator preset")
+	machName := flag.String("machine", "highend", "machine preset")
+	appName := flag.String("app", "uhd", "app kind (uhd, 360, camera, ar, livestream, heavy3d, ui, social)")
+	duration := flag.Duration("duration", 30*time.Second, "simulated duration")
+	seed := flag.Int64("seed", 1, "simulation seed")
+	verbose := flag.Bool("v", false, "print SVM internals")
+	flag.Parse()
+
+	presetFn, ok := presetsByName[strings.ToLower(*emuName)]
+	if !ok {
+		die("unknown emulator %q", *emuName)
+	}
+	machine, ok := machinesByName[strings.ToLower(*machName)]
+	if !ok {
+		die("unknown machine %q", *machName)
+	}
+
+	sess := workload.NewSession(presetFn(), machine.New, *seed)
+	defer sess.Close()
+
+	var r *workload.Result
+	var err error
+	switch strings.ToLower(*appName) {
+	case "uhd":
+		r, err = workload.RunEmerging(sess.Emulator, workload.DefaultSpec(emulator.CatUHDVideo, 0, *duration))
+	case "360":
+		r, err = workload.RunEmerging(sess.Emulator, workload.DefaultSpec(emulator.Cat360Video, 0, *duration))
+	case "camera":
+		r, err = workload.RunEmerging(sess.Emulator, workload.DefaultSpec(emulator.CatCamera, 0, *duration))
+	case "ar":
+		r, err = workload.RunEmerging(sess.Emulator, workload.DefaultSpec(emulator.CatAR, 0, *duration))
+	case "livestream":
+		r, err = workload.RunEmerging(sess.Emulator, workload.DefaultSpec(emulator.CatLivestream, 0, *duration))
+	case "heavy3d":
+		r, err = workload.RunPopular(sess.Emulator, workload.PopularHeavy3D, workload.PopularSpec(workload.PopularHeavy3D, 0, *duration))
+	case "ui":
+		r, err = workload.RunPopular(sess.Emulator, workload.PopularUI, workload.PopularSpec(workload.PopularUI, 0, *duration))
+	case "social":
+		r, err = workload.RunPopular(sess.Emulator, workload.PopularSocialVideo, workload.PopularSpec(workload.PopularSocialVideo, 0, *duration))
+	default:
+		die("unknown app %q", *appName)
+	}
+	if err != nil {
+		die("run failed: %v", err)
+	}
+
+	fmt.Println(r)
+	fmt.Printf("frames=%d drops=%d (stale %d, deadline %d)\n",
+		r.Frames, r.Drops, r.StaleDrops, r.DeadlineDrops)
+	if r.Latency.Count() > 0 {
+		fmt.Printf("motion-to-photon: mean %.1f ms, p95 %.1f ms, p99 %.1f ms\n",
+			r.Latency.Mean(), r.Latency.Percentile(95), r.Latency.Percentile(99))
+	}
+
+	if *verbose {
+		st := sess.SVMStats()
+		fmt.Printf("\nSVM framework (%s protocol):\n", sess.Emulator.Manager.Kind())
+		fmt.Printf("  accesses            %d (%d writes, %d reads)\n", st.Accesses, st.Writes, st.Reads)
+		fmt.Printf("  HAL access latency  %.2f ms mean\n", st.HALAccessLatency.Mean())
+		fmt.Printf("  all access latency  %.2f ms mean, %.2f p99\n",
+			st.AccessLatency.Mean(), st.AccessLatency.Percentile(99))
+		fmt.Printf("  coherence           %.2f ms mean over %d copies (host-direct %.0f%%)\n",
+			st.CoherenceCost.Mean(), st.CoherenceCost.Count(), st.DirectShare()*100)
+		fmt.Printf("  prefetch            %d hits, %d waits, %d demand fetches\n",
+			st.PrefetchHits, st.PrefetchWaits, st.DemandFetches)
+		fmt.Printf("  prediction          %.1f%% over %d\n", st.PredictionAccuracy()*100, st.PredTotal)
+		fmt.Printf("  slack intervals     %.1f ms mean over %d\n",
+			st.SlackIntervals.Mean(), st.SlackIntervals.Count())
+		fmt.Printf("  bytes               %d MiB accessed, %d MiB coherence, %d MiB wasted\n",
+			st.BytesAccessed>>20, st.BytesCoherence>>20, st.BytesWasted>>20)
+		fmt.Printf("  throughput          %.2f GB/s\n", st.Throughput(*duration)/1e9)
+		fmt.Printf("  fence table         peak %d/%d slots, %d allocs, %d recycles\n",
+			sess.Emulator.Fences.Peak(), sess.Emulator.Fences.Capacity(),
+			sess.Emulator.Fences.Allocs(), sess.Emulator.Fences.Recycles())
+		if th := sess.Machine.Thermal; th != nil {
+			fmt.Printf("  thermal             %.0f C, throttled=%v\n", th.Temperature(), th.Throttled())
+		}
+	}
+}
+
+func die(format string, args ...any) {
+	fmt.Fprintf(os.Stderr, format+"\n", args...)
+	os.Exit(1)
+}

@@ -1,0 +1,68 @@
+// Command vsoctrace runs the paper's §2.3 measurement study: it traces
+// shared-memory usage of the emerging-app workloads on a physical-device
+// model, Google Android Emulator, and QEMU-KVM, reproducing the data behind
+// Figure 4 (region-size CDF), Figure 5 (coherence cost CDF), and Figure 6
+// (slack-interval CDF), plus Table 1 and the API-call-rate observations.
+//
+// Usage:
+//
+//	vsoctrace [-fig 0|4|5|6] [-duration 30s] [-apps 10] [-seed 1]
+//
+// -fig 0 (default) prints the whole study.
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+	"time"
+
+	"repro/internal/experiments"
+	"repro/internal/metrics"
+)
+
+func main() {
+	fig := flag.Int("fig", 0, "figure to print (0 = full study, 4, 5, or 6)")
+	duration := flag.Duration("duration", 30*time.Second, "simulated duration per app")
+	apps := flag.Int("apps", 10, "apps per category")
+	seed := flag.Int64("seed", 1, "simulation seed")
+	flag.Parse()
+
+	cfg := experiments.Config{Duration: *duration, AppsPerCategory: *apps, Seed: *seed}
+	study := experiments.RunStudy(cfg)
+
+	switch *fig {
+	case 0:
+		fmt.Print(experiments.FormatStudy(study))
+	case 4:
+		printCDFs(study, "Figure 4: shared memory region sizes (MiB)",
+			func(t *experiments.PlatformTrace) *metrics.Distribution { return &t.RegionSizes })
+	case 5:
+		printCDFs(study, "Figure 5: coherence maintenance cost (ms)",
+			func(t *experiments.PlatformTrace) *metrics.Distribution { return &t.CoherenceCost })
+	case 6:
+		printCDFs(study, "Figure 6: slack intervals (ms)",
+			func(t *experiments.PlatformTrace) *metrics.Distribution { return &t.SlackIntervals })
+	default:
+		fmt.Fprintf(os.Stderr, "unknown figure %d\n", *fig)
+		os.Exit(2)
+	}
+}
+
+func printCDFs(study *experiments.StudyResult, title string,
+	pick func(*experiments.PlatformTrace) *metrics.Distribution) {
+
+	fmt.Println(title)
+	for i := range study.Traces {
+		tr := &study.Traces[i]
+		d := pick(tr)
+		if d.Count() == 0 {
+			fmt.Printf("\n%s: no samples\n", tr.Platform)
+			continue
+		}
+		fmt.Printf("\n%s (n=%d, mean=%.2f):\n", tr.Platform, d.Count(), d.Mean())
+		for _, p := range d.CDF(20) {
+			fmt.Printf("  F=%.2f  %8.2f\n", p.F, p.Value)
+		}
+	}
+}

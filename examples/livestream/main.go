@@ -1,0 +1,43 @@
+// Livestream: watch an RTMP-style 300 Mbps UHD stream (NIC -> codec -> GPU
+// -> display, Table 1) and break down where each emulator's latency goes —
+// network, decode, coherence, and display pacing.
+package main
+
+import (
+	"fmt"
+	"time"
+
+	"repro/internal/emulator"
+	"repro/internal/experiments"
+	"repro/internal/workload"
+)
+
+func main() {
+	const duration = 20 * time.Second
+
+	fmt.Println("livestream viewing: 300 Mbps UHD/60 RTMP over gigabit ethernet")
+	fmt.Printf("%-12s %8s %12s %10s %12s\n",
+		"emulator", "FPS", "m2p mean", "decode", "coherence")
+
+	for _, preset := range emulator.All() {
+		sess := workload.NewSession(preset, experiments.HighEnd.New, 13)
+		spec := workload.DefaultSpec(emulator.CatLivestream, 0, duration)
+		r, err := workload.RunEmerging(sess.Emulator, spec)
+		if err != nil {
+			fmt.Printf("%-12s cannot run: %v\n", preset.Name, err)
+			sess.Close()
+			continue
+		}
+		st := sess.SVMStats()
+		decode := sess.Emulator.DecodeCost(workload.MPixels(spec.VideoW, spec.VideoH))
+		fmt.Printf("%-12s %8.1f %10.1fms %10s %10.2fms\n",
+			preset.Name, r.FPS, r.Latency.Mean(),
+			decode.Round(100*time.Microsecond), st.CoherenceCost.Mean())
+		sess.Close()
+	}
+
+	fmt.Println("\nthe stream source is ~40 ms away; everything beyond that is the")
+	fmt.Println("emulator's pipeline. vSoC's prefetch engine moves each decoded")
+	fmt.Println("frame to the GPU during the inter-frame slack, so its added")
+	fmt.Println("latency is decode + render + vsync alignment only.")
+}

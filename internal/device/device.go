@@ -1,0 +1,373 @@
+// Package device implements vSoC's paravirtualized virtual device framework
+// (§3.1, §3.4): each virtual device is a guest kernel driver plus a host
+// module with its own command queue and executor thread. Guest drivers
+// dispatch commands over virtio rings; host executors run them in order,
+// touching SVM regions through the manager and occupying the physical device
+// they are currently mapped to.
+//
+// The framework supports the three access-ordering paradigms the paper
+// compares (Fig. 9): virtual command fences (vSoC), atomic guest-blocking
+// operations (the common baseline), and event-driven interrupt completion.
+package device
+
+import (
+	"fmt"
+	"time"
+
+	"repro/internal/fence"
+	"repro/internal/flowcontrol"
+	"repro/internal/hostsim"
+	"repro/internal/hypergraph"
+	"repro/internal/sim"
+	"repro/internal/svm"
+	"repro/internal/virtio"
+)
+
+// OrderingMode selects how cross-device shared-resource ordering is
+// enforced (§3.4).
+type OrderingMode int
+
+const (
+	// ModeFence attaches virtual signal/wait fences to commands; guest
+	// drivers never block on host execution.
+	ModeFence OrderingMode = iota
+	// ModeAtomic blocks the guest driver until the host finishes each
+	// shared-resource operation (head-of-queue blocking).
+	ModeAtomic
+	// ModeEventDriven lets the guest proceed and signals completion with
+	// an emulated interrupt (extra VM-exits).
+	ModeEventDriven
+)
+
+var modeNames = map[OrderingMode]string{
+	ModeFence:       "fence",
+	ModeAtomic:      "atomic",
+	ModeEventDriven: "event-driven",
+}
+
+func (m OrderingMode) String() string { return modeNames[m] }
+
+// Config parameterizes a virtual device.
+type Config struct {
+	Mode        OrderingMode
+	Transport   virtio.Config
+	FlowControl flowcontrol.Config
+	// UseFlowControl enables MIMD pacing (fence mode benefits; the other
+	// modes self-pace by blocking).
+	UseFlowControl bool
+	// CtxSwitchSync is the stall when this virtual device takes over a
+	// physical device from another virtual device under synchronous
+	// ordering; CtxSwitchDeferred is the same under fences, which §3.4
+	// applies to GPU context switches precisely to avoid driver stalls.
+	CtxSwitchSync     time.Duration
+	CtxSwitchDeferred time.Duration
+}
+
+// DefaultConfig returns a vSoC-style device configuration.
+func DefaultConfig() Config {
+	return Config{
+		Mode:              ModeFence,
+		Transport:         virtio.DefaultConfig(),
+		FlowControl:       flowcontrol.DefaultConfig(),
+		UseFlowControl:    true,
+		CtxSwitchSync:     600 * time.Microsecond,
+		CtxSwitchDeferred: 60 * time.Microsecond,
+	}
+}
+
+// OpKind classifies device commands.
+type OpKind int
+
+const (
+	// OpWrite produces data into an SVM region (decode, capture, receive).
+	OpWrite OpKind = iota
+	// OpRead consumes data from an SVM region (render, encode, scan-out).
+	OpRead
+	// OpExec is pure device work with no SVM access (3D draw calls).
+	OpExec
+)
+
+// Op is one device command from the guest's point of view.
+type Op struct {
+	Kind   OpKind
+	Region svm.RegionID
+	// Bytes is the accessed range (0 = whole region) for OpRead/OpWrite.
+	Bytes hostsim.Bytes
+	// Exec is the physical-device execution cost at nominal speed.
+	Exec time.Duration
+	// Commands is how many driver commands the op comprises (draw calls,
+	// codec control writes). Fence mode batches them with one kick;
+	// atomic mode pays a guest-host round trip per command — the
+	// head-of-queue blocking cost of §3.4. Zero means one command.
+	Commands int
+	// After orders this op behind a previously submitted one, possibly on
+	// a different device (the Fig. 9 write-then-read case).
+	After *Ticket
+	// OnComplete, when non-nil, runs in host context when the op finishes
+	// (used by displays to timestamp presented frames).
+	OnComplete func(at time.Duration)
+}
+
+// Ticket tracks one submitted op.
+type Ticket struct {
+	Cmd *virtio.Command
+	// Fence is the signal fence attached after the op (fence mode only).
+	Fence *fence.Fence
+	// Ready fires when the guest may consider the op complete, with the
+	// mode's notification cost already applied.
+	Ready *sim.Event
+}
+
+// Done reports host-side completion (cheap MMIO-style status query).
+func (t *Ticket) Done() bool { return t.Cmd.Done.Fired() }
+
+// Stats counts per-device activity.
+type Stats struct {
+	Submitted  int
+	Executed   int
+	FenceWaits int
+	AtomicOps  int
+	IRQs       int
+}
+
+// Device is one virtual device: guest driver state plus the host executor.
+type Device struct {
+	Name string
+
+	mgr  *svm.Manager
+	cfg  Config
+	env  *sim.Env
+	ring *virtio.Ring
+	irq  *virtio.IRQLine
+	ftab *fence.Table
+	mimd *flowcontrol.MIMD
+
+	vid hypergraph.NodeID
+	// Current physical mapping (dynamic, §3.2).
+	pid    hypergraph.NodeID
+	host   *hostsim.Device
+	domain *hostsim.Domain
+
+	stats Stats
+}
+
+// hostOp is the payload carried in ring commands.
+type hostOp struct {
+	op         Op
+	waitFence  *fence.Fence
+	sigFence   *fence.Fence
+	notify     bool       // raise an IRQ at completion (event-driven mode)
+	readyEvent *sim.Event // guest-visible completion (event-driven mode)
+}
+
+// New creates a virtual device mapped to the given physical device/domain
+// and starts its host executor. ftab is the emulator-wide virtual fence
+// table (may be nil for non-fence modes).
+func New(env *sim.Env, mgr *svm.Manager, name string, vid, pid hypergraph.NodeID,
+	host *hostsim.Device, domain *hostsim.Domain, ftab *fence.Table, cfg Config) *Device {
+
+	d := &Device{
+		Name:   name,
+		mgr:    mgr,
+		cfg:    cfg,
+		env:    env,
+		ring:   virtio.NewRing(env, name+"-vq", cfg.Transport),
+		irq:    virtio.NewIRQLine(env, name+"-irq", cfg.Transport),
+		ftab:   ftab,
+		vid:    vid,
+		pid:    pid,
+		host:   host,
+		domain: domain,
+	}
+	if cfg.Mode == ModeFence && ftab == nil {
+		panic(fmt.Sprintf("device %s: fence mode requires a fence table", name))
+	}
+	if cfg.UseFlowControl && cfg.Mode == ModeFence {
+		d.mimd = flowcontrol.New(env, cfg.FlowControl)
+	}
+	env.Spawn(name+"-host", d.hostLoop)
+	if cfg.Mode == ModeEventDriven {
+		env.Spawn(name+"-irq-dispatch", d.irqLoop)
+	}
+	return d
+}
+
+// Accessor returns the device's current SVM accessor identity.
+func (d *Device) Accessor() svm.Accessor {
+	return svm.Accessor{Virtual: d.vid, Physical: d.pid, Domain: d.domain, Name: d.Name}
+}
+
+// VirtualID returns the device's virtual node ID.
+func (d *Device) VirtualID() hypergraph.NodeID { return d.vid }
+
+// PhysicalID returns the current physical mapping's node ID.
+func (d *Device) PhysicalID() hypergraph.NodeID { return d.pid }
+
+// Domain returns the device's current local memory domain.
+func (d *Device) Domain() *hostsim.Domain { return d.domain }
+
+// HostDevice returns the physical device currently backing this one.
+func (d *Device) HostDevice() *hostsim.Device { return d.host }
+
+// Remap points the virtual device at a different physical device — e.g.
+// codec falling back from NVDEC to CPU software decode (§3.2).
+func (d *Device) Remap(pid hypergraph.NodeID, host *hostsim.Device, domain *hostsim.Domain) {
+	d.pid = pid
+	d.host = host
+	d.domain = domain
+}
+
+// Stats returns the device's counters.
+func (d *Device) Stats() Stats { return d.stats }
+
+// QueueDepth returns pending host commands.
+func (d *Device) QueueDepth() int { return d.ring.Pending() }
+
+// Submit dispatches op from guest driver context p and returns its ticket.
+// Blocking behaviour depends on the ordering mode:
+//
+//   - fence: never blocks on host execution; writes block only for the
+//     prefetch compensation (adaptive synchronism, §3.3).
+//   - atomic: blocks until the host finishes the op.
+//   - event-driven: returns immediately; Ready fires after the completion
+//     interrupt is handled.
+func (d *Device) Submit(p *sim.Proc, op Op) *Ticket {
+	d.stats.Submitted++
+	t := &Ticket{}
+	cmd := d.ring.NewCommand(opName(op.Kind), nil)
+	t.Cmd = cmd
+	t.Ready = cmd.Done
+
+	ho := &hostOp{op: op}
+	cmd.Payload = ho
+
+	extra := op.Commands - 1
+	if extra < 0 {
+		extra = 0
+	}
+	switch d.cfg.Mode {
+	case ModeFence:
+		if op.After != nil && op.After.Fence != nil && !op.After.Fence.Signaled() {
+			ho.waitFence = op.After.Fence
+		}
+		ho.sigFence = d.ftab.Alloc()
+		t.Fence = ho.sigFence
+		if d.mimd != nil {
+			d.mimd.Acquire(p)
+		}
+		// Batched commands share one kick; only marshaling scales.
+		p.Sleep(time.Duration(extra) * d.cfg.Transport.PerCommandCost)
+		d.ring.Dispatch(p, cmd)
+		if op.Kind == OpWrite {
+			if comp := d.mgr.PredictCompensation(op.Region, d.Accessor(), op.Bytes); comp > 0 {
+				p.Sleep(comp)
+			}
+		}
+	case ModeAtomic:
+		// Guest-side ordering: op.After already completed because its
+		// submission blocked. Each constituent command costs a full
+		// guest-host round trip before the final dispatch-and-wait.
+		p.Sleep(time.Duration(extra) *
+			(d.cfg.Transport.PerCommandCost + d.cfg.Transport.KickCost + d.cfg.Transport.IRQCost))
+		d.ring.Dispatch(p, cmd)
+		cmd.Done.Wait(p)
+		d.stats.AtomicOps++
+	case ModeEventDriven:
+		ho.notify = true
+		ready := sim.NewEvent(p.Env())
+		t.Ready = ready
+		ho.readyEvent = ready
+		if op.After != nil && !op.After.Ready.Fired() {
+			// The guest serializes dependent ops on the completion IRQ
+			// of the predecessor.
+			op.After.Ready.Wait(p)
+		}
+		p.Sleep(time.Duration(extra) * (d.cfg.Transport.PerCommandCost + d.cfg.Transport.KickCost))
+		d.ring.Dispatch(p, cmd)
+	}
+	return t
+}
+
+func (d *Device) hostLoop(p *sim.Proc) {
+	for {
+		cmd := d.ring.Recv(p)
+		ho := cmd.Payload.(*hostOp)
+		if ho.waitFence != nil {
+			d.stats.FenceWaits++
+			ho.waitFence.Wait(p)
+		}
+		d.execute(p, ho)
+		cmd.Done.Signal()
+		if ho.sigFence != nil {
+			ho.sigFence.Signal()
+		}
+		if ho.notify {
+			d.irq.Raise(ho)
+		}
+		if d.mimd != nil {
+			d.mimd.Complete(d.ring.Pending())
+		}
+		d.stats.Executed++
+	}
+}
+
+func (d *Device) execute(p *sim.Proc, ho *hostOp) {
+	op := ho.op
+	if d.host.SwitchUser(d.Name) {
+		// Taking over the physical device from another virtual device.
+		if d.cfg.Mode == ModeFence {
+			p.Sleep(d.cfg.CtxSwitchDeferred)
+		} else {
+			p.Sleep(d.cfg.CtxSwitchSync)
+		}
+	}
+	switch op.Kind {
+	case OpWrite:
+		a, err := d.mgr.BeginAccess(p, op.Region, d.Accessor(), svm.UsageWrite, op.Bytes)
+		if err != nil {
+			panic(fmt.Sprintf("device %s: write begin: %v", d.Name, err))
+		}
+		d.host.Exec(p, op.Exec)
+		if _, err := a.End(p); err != nil {
+			panic(fmt.Sprintf("device %s: write end: %v", d.Name, err))
+		}
+	case OpRead:
+		a, err := d.mgr.BeginAccess(p, op.Region, d.Accessor(), svm.UsageRead, op.Bytes)
+		if err != nil {
+			panic(fmt.Sprintf("device %s: read begin: %v", d.Name, err))
+		}
+		d.host.Exec(p, op.Exec)
+		if _, err := a.End(p); err != nil {
+			panic(fmt.Sprintf("device %s: read end: %v", d.Name, err))
+		}
+	case OpExec:
+		d.host.Exec(p, op.Exec)
+	}
+	if op.OnComplete != nil {
+		op.OnComplete(p.Now())
+	}
+}
+
+// irqLoop delivers completion interrupts to the guest (event-driven mode),
+// charging the IRQ handling cost before marking tickets ready.
+func (d *Device) irqLoop(p *sim.Proc) {
+	for {
+		v := d.irq.Wait(p)
+		d.stats.IRQs++
+		ho := v.(*hostOp)
+		if ho.readyEvent != nil {
+			ho.readyEvent.Signal()
+		}
+	}
+}
+
+func opName(k OpKind) string {
+	switch k {
+	case OpWrite:
+		return "write"
+	case OpRead:
+		return "read"
+	default:
+		return "exec"
+	}
+}

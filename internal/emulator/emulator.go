@@ -1,0 +1,214 @@
+// Package emulator assembles complete mobile-emulator instances: an SVM
+// manager with a coherence protocol, the common virtual device set (GPU,
+// display, ISP, codec, camera, modem, NIC), the guest VSync clock, and the
+// HAL shared-memory module — wired to a host machine.
+//
+// Presets encode the architectures the paper evaluates (§5.1): vSoC and its
+// two ablations, plus Google Android Emulator-, QEMU-KVM-, LDPlayer-,
+// Bluestacks-, and Trinity-like baselines. The presets differ in SVM
+// architecture (unified vs guest-backed), coherence protocol, access
+// ordering, codec placement (hardware vs software), ISP placement, device
+// support, and per-operation efficiency — the differences the paper
+// attributes the performance gaps to.
+package emulator
+
+import (
+	"time"
+
+	"repro/internal/device"
+	"repro/internal/fence"
+	"repro/internal/guest"
+	"repro/internal/hostsim"
+	"repro/internal/hypergraph"
+	"repro/internal/sim"
+	"repro/internal/svm"
+)
+
+// Categories of emerging apps (Table 1), indexing EmergingCompat.
+const (
+	CatUHDVideo = iota
+	Cat360Video
+	CatCamera
+	CatAR
+	CatLivestream
+	NumCategories
+)
+
+// CategoryNames are the Table 1 category labels.
+var CategoryNames = [NumCategories]string{
+	"UHD Video", "360 Video", "Camera", "AR", "Livestream",
+}
+
+// Preset describes one emulator architecture.
+type Preset struct {
+	Name string
+
+	// SVM architecture.
+	SVM svm.Config
+	// Ordering selects the access-ordering paradigm (§3.4).
+	Ordering device.OrderingMode
+	// UseFlowControl enables MIMD pacing (fence mode).
+	UseFlowControl bool
+
+	// Device capabilities.
+	HWDecode bool // virtual codec uses the host's hardware decoder
+	HWEncode bool
+	// HostSideCodec marks software decoding in the emulator process (host
+	// CPU + host RAM) rather than inside the guest.
+	HostSideCodec bool
+	ISPInGPU      bool // colorspace conversion as a GPU shader vs CPU swscale
+	HasCamera     bool // Trinity lacks cameras and encoders (§5.3)
+	HasEncoder    bool
+
+	// Efficiency multipliers on device execution costs (1.0 = native).
+	GPUCostFactor   float64
+	CodecCostFactor float64
+	ISPCostFactor   float64
+
+	// CameraFPSCap bounds the virtual camera's delivery rate; host webcam
+	// passthrough stacks commonly negotiate UHD at 30 FPS, while vSoC's
+	// paravirtual camera streams the sensor's full 60 FPS (§5.1's UHD60
+	// camera). Zero means uncapped.
+	CameraFPSCap int
+	// CameraStackLatency is extra per-frame delay added by the host
+	// capture stack (DirectShow/MediaFoundation graphs buffer several
+	// frames in passthrough designs; vSoC's libavdevice path is direct).
+	CameraStackLatency time.Duration
+
+	// Compatibility: how many of each emerging category's 10 apps run
+	// (§5.3), and how many of the top-25 popular apps run (§5.5).
+	EmergingCompat [NumCategories]int
+	PopularCompat  int
+}
+
+// Emulator is one assembled instance running on a machine.
+type Emulator struct {
+	Preset  Preset
+	Env     *sim.Env
+	Machine *hostsim.Machine
+	Manager *svm.Manager
+	HAL     *svm.Module
+	Fences  *fence.Table
+	VSync   *guest.VSync
+
+	GPU     *device.Device
+	Display *device.Device
+	ISP     *device.Device
+	Codec   *device.Device
+	Camera  *device.Device
+	Modem   *device.Device
+	NIC     *device.Device
+}
+
+// VSyncPeriod is the guest display refresh period (60 Hz).
+const VSyncPeriod = time.Second / 60
+
+// New assembles an emulator from a preset on the given machine.
+func New(env *sim.Env, mach *hostsim.Machine, p Preset) *Emulator {
+	mgr := svm.NewManager(env, mach, p.SVM)
+	for id, name := range virtualNames {
+		mgr.RegisterVirtualDevice(id, name)
+	}
+	cpuDomain := mach.DRAM
+	if p.SVM.Kind == svm.KindGuestSync {
+		cpuDomain = mach.Guest
+	}
+	mgr.RegisterPhysicalDevice(PCPU, physicalNames[PCPU], cpuDomain)
+	mgr.RegisterPhysicalDevice(PGPU, physicalNames[PGPU], mach.VRAM)
+	mgr.RegisterPhysicalDevice(PCamera, physicalNames[PCamera], mach.CamBuf)
+	mgr.RegisterPhysicalDevice(PNIC, physicalNames[PNIC], mach.NICBuf)
+	mgr.RegisterPhysicalDevice(PNVDEC, physicalNames[PNVDEC], mach.DRAM)
+	mgr.RegisterPhysicalDevice(PCodecHost, physicalNames[PCodecHost], mach.DRAM)
+
+	ftab := fence.NewTable(env)
+	dcfg := device.DefaultConfig()
+	dcfg.Mode = p.Ordering
+	dcfg.UseFlowControl = p.UseFlowControl
+
+	e := &Emulator{
+		Preset:  p,
+		Env:     env,
+		Machine: mach,
+		Manager: mgr,
+		Fences:  ftab,
+		VSync:   guest.NewVSync(env, VSyncPeriod),
+	}
+	e.HAL = svm.NewModule(mgr, svm.Accessor{
+		Virtual: VCPU, Physical: PCPU, Domain: cpuDomain, Name: "cpu",
+	})
+
+	mk := func(name string, vid, pid hypergraph.NodeID, host *hostsim.Device, dom *hostsim.Domain) *device.Device {
+		return device.New(env, mgr, name, vid, pid, host, dom, ftab, dcfg)
+	}
+	e.GPU = mk("gpu", VGPU, PGPU, mach.GPU, mach.VRAM)
+	// Virtual displays are windows managed by the host GPU (§3.2).
+	e.Display = mk("display", VDisplay, PGPU, mach.GPU, mach.VRAM)
+	if p.ISPInGPU {
+		e.ISP = mk("isp", VISP, PGPU, mach.GPU, mach.VRAM)
+	} else {
+		e.ISP = mk("isp", VISP, PCPU, mach.CPU, cpuDomain)
+	}
+	switch {
+	case p.HWDecode && mach.HWDecode:
+		// NVDEC-class engine driven through libavcodec: decode runs on
+		// the GPU's codec block but frames stage in host RAM (§4) — the
+		// DRAM->VRAM flow the prefetch engine hides.
+		e.Codec = mk("codec", VCodec, PNVDEC, mach.GPU, mach.DRAM)
+	case p.HostSideCodec:
+		// Emulator-process software decoder (goldfish-style): host CPU,
+		// host RAM output, then a guest push for guest-backed SVM.
+		e.Codec = mk("codec", VCodec, PCodecHost, mach.CPU, mach.DRAM)
+	default:
+		// Guest software decode: output lands directly in guest pages.
+		e.Codec = mk("codec", VCodec, PCPU, mach.CPU, cpuDomain)
+	}
+	if p.HasCamera {
+		e.Camera = mk("camera", VCamera, PCamera, mach.Camera, mach.CamBuf)
+	}
+	e.Modem = mk("modem", VModem, PCPU, mach.CPU, cpuDomain)
+	e.NIC = mk("nic", VNIC, PNIC, mach.NIC, mach.NICBuf)
+	return e
+}
+
+// CodecIsHardware reports whether decode runs on the GPU's codec engine.
+func (e *Emulator) CodecIsHardware() bool { return e.Codec.HostDevice() == e.Machine.GPU }
+
+// EncodeIsHardware reports whether encoding runs on the GPU (NVENC-style).
+func (e *Emulator) EncodeIsHardware() bool {
+	return e.Preset.HWEncode && e.Machine.HWEncode
+}
+
+// DecodeCost returns the codec execution cost for a frame of mp megapixels,
+// applying the preset's efficiency factor.
+func (e *Emulator) DecodeCost(mp float64) time.Duration {
+	c := e.Machine.Perf.DecodeCost(mp, e.CodecIsHardware())
+	return time.Duration(float64(c) * e.Preset.CodecCostFactor)
+}
+
+// EncodeCost returns the encoder execution cost for mp megapixels.
+func (e *Emulator) EncodeCost(mp float64) time.Duration {
+	c := e.Machine.Perf.EncodeCost(mp, e.EncodeIsHardware())
+	return time.Duration(float64(c) * e.Preset.CodecCostFactor)
+}
+
+// RenderCost returns the GPU cost to render mp megapixels.
+func (e *Emulator) RenderCost(mp float64) time.Duration {
+	c := e.Machine.Perf.RenderCost(mp)
+	return time.Duration(float64(c) * e.Preset.GPUCostFactor)
+}
+
+// ISPCost returns the colorspace conversion cost for mp megapixels.
+func (e *Emulator) ISPCost(mp float64) time.Duration {
+	c := e.Machine.Perf.ISPCost(mp, e.Preset.ISPInGPU)
+	return time.Duration(float64(c) * e.Preset.ISPCostFactor)
+}
+
+// GPU3DCost returns the heavy-3D frame cost (popular-app workloads).
+func (e *Emulator) GPU3DCost() time.Duration {
+	return time.Duration(float64(e.Machine.Perf.GPU3DFrame) * e.Preset.GPUCostFactor)
+}
+
+// UICost returns the ordinary UI frame cost.
+func (e *Emulator) UICost() time.Duration {
+	return time.Duration(float64(e.Machine.Perf.UIFrame) * e.Preset.GPUCostFactor)
+}

@@ -1,0 +1,41 @@
+package emulator
+
+import "repro/internal/hypergraph"
+
+// Virtual device node IDs (the guest-visible SoC device set, §3.1).
+const (
+	VCPU hypergraph.NodeID = iota
+	VGPU
+	VDisplay
+	VISP
+	VCodec
+	VCamera
+	VModem
+	VNIC
+)
+
+// Physical device node IDs (the host hardware, §3.2). Note the asymmetry
+// with the virtual set: displays, ISPs, and hardware codecs all land on the
+// physical GPU — exactly why the twin hypergraphs need two layers.
+const (
+	PCPU hypergraph.NodeID = iota
+	PGPU
+	PCamera
+	PNIC
+	// PNVDEC is the GPU's video-decode engine with libavcodec host-RAM
+	// staging (decoded frames land in host memory, §4's codec design).
+	PNVDEC
+	// PCodecHost is a host-side software codec (GAE's goldfish-style
+	// decoder running in the emulator process).
+	PCodecHost
+)
+
+var virtualNames = map[hypergraph.NodeID]string{
+	VCPU: "vcpu", VGPU: "vgpu", VDisplay: "vdisplay", VISP: "visp",
+	VCodec: "vcodec", VCamera: "vcamera", VModem: "vmodem", VNIC: "vnic",
+}
+
+var physicalNames = map[hypergraph.NodeID]string{
+	PCPU: "cpu", PGPU: "gpu", PCamera: "camera", PNIC: "nic",
+	PNVDEC: "nvdec", PCodecHost: "host-codec",
+}

@@ -1,0 +1,149 @@
+package experiments
+
+import (
+	"repro/internal/emulator"
+	"repro/internal/metrics"
+	"repro/internal/workload"
+)
+
+// AblationResult is Fig. 12: per-category FPS of full vSoC against the
+// no-prefetch (write-invalidate) and no-fence (atomic ordering) variants on
+// the high-end machine.
+type AblationResult struct {
+	Categories []string
+	Full       []float64
+	NoPrefetch []float64
+	NoFence    []float64
+}
+
+// AvgDropNoPrefetch returns the mean relative FPS drop with the prefetch
+// engine disabled (the paper reports 30% average, 66% for video).
+func (r *AblationResult) AvgDropNoPrefetch() float64 { return avgDrop(r.Full, r.NoPrefetch) }
+
+// AvgDropNoFence returns the mean relative FPS drop with fences disabled
+// (the paper reports 11%).
+func (r *AblationResult) AvgDropNoFence() float64 { return avgDrop(r.Full, r.NoFence) }
+
+// VideoDropNoPrefetch returns the relative FPS drop on the two video
+// categories with prefetch disabled (the paper's "staggering 66%").
+func (r *AblationResult) VideoDropNoPrefetch() float64 {
+	return avgDrop(r.Full[:2], r.NoPrefetch[:2])
+}
+
+func avgDrop(full, ablated []float64) float64 {
+	var sum float64
+	var n int
+	for i := range full {
+		if full[i] > 0 {
+			sum += (full[i] - ablated[i]) / full[i]
+			n++
+		}
+	}
+	if n == 0 {
+		return 0
+	}
+	return sum / float64(n)
+}
+
+// RunAblation reproduces Fig. 12 on the high-end machine.
+func RunAblation(cfg Config) *AblationResult {
+	variants := []emulator.Preset{
+		emulator.VSoC(), emulator.VSoCNoPrefetch(), emulator.VSoCNoFence(),
+	}
+	out := &AblationResult{}
+	for cat := 0; cat < emulator.NumCategories; cat++ {
+		out.Categories = append(out.Categories, emulator.CategoryNames[cat])
+	}
+	for vi, preset := range variants {
+		for cat := 0; cat < emulator.NumCategories; cat++ {
+			runnable := preset.EmergingCompat[cat]
+			if runnable > cfg.AppsPerCategory {
+				runnable = cfg.AppsPerCategory
+			}
+			var fps float64
+			n := 0
+			for app := 0; app < runnable; app++ {
+				sess := workload.NewSession(preset, HighEnd.New, appSeed(cfg.Seed, 100+vi, cat, app))
+				spec := workload.DefaultSpec(cat, app, cfg.Duration)
+				r, err := workload.RunEmerging(sess.Emulator, spec)
+				sess.Close()
+				if err != nil {
+					continue
+				}
+				fps += r.FPS
+				n++
+			}
+			mean := 0.0
+			if n > 0 {
+				mean = fps / float64(n)
+			}
+			switch vi {
+			case 0:
+				out.Full = append(out.Full, mean)
+			case 1:
+				out.NoPrefetch = append(out.NoPrefetch, mean)
+			case 2:
+				out.NoFence = append(out.NoFence, mean)
+			}
+		}
+	}
+	return out
+}
+
+// PopularAblationResult is the §5.5 breakdown: how many of the popular apps
+// lose FPS under each ablation and the average drop.
+type PopularAblationResult struct {
+	Apps               int
+	FullMean           float64
+	NoPrefetchMean     float64
+	NoFenceMean        float64
+	AppsDropNoPrefetch int
+	AppsDropNoFence    int
+}
+
+// RunPopularAblation reproduces the §5.5 ablation numbers (paper: 80% and
+// 96% of apps drop; average FPS -6% and -8%).
+func RunPopularAblation(cfg Config) *PopularAblationResult {
+	mix := workload.PopularMix()
+	if cfg.PopularApps < len(mix) {
+		mix = mix[:cfg.PopularApps]
+	}
+	variants := []emulator.Preset{
+		emulator.VSoC(), emulator.VSoCNoPrefetch(), emulator.VSoCNoFence(),
+	}
+	fps := make([][]float64, len(variants))
+	for vi, preset := range variants {
+		for app, kind := range mix {
+			sess := workload.NewSession(preset, HighEnd.New, appSeed(cfg.Seed, 200+vi, int(kind), app))
+			spec := workload.PopularSpec(kind, app, cfg.Duration)
+			r, err := workload.RunPopular(sess.Emulator, kind, spec)
+			sess.Close()
+			if err != nil {
+				fps[vi] = append(fps[vi], 0)
+				continue
+			}
+			fps[vi] = append(fps[vi], r.FPS)
+		}
+	}
+	out := &PopularAblationResult{Apps: len(mix)}
+	var d metrics.Distribution
+	for _, v := range fps[0] {
+		d.Add(v)
+	}
+	out.FullMean = d.Mean()
+	var np, nf metrics.Distribution
+	for i := range fps[0] {
+		np.Add(fps[1][i])
+		nf.Add(fps[2][i])
+		const eps = 0.5 // below half an FPS is measurement noise
+		if fps[0][i]-fps[1][i] > eps {
+			out.AppsDropNoPrefetch++
+		}
+		if fps[0][i]-fps[2][i] > eps {
+			out.AppsDropNoFence++
+		}
+	}
+	out.NoPrefetchMean = np.Mean()
+	out.NoFenceMean = nf.Mean()
+	return out
+}

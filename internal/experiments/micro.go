@@ -1,0 +1,215 @@
+package experiments
+
+import (
+	"time"
+
+	"repro/internal/emulator"
+	"repro/internal/metrics"
+	"repro/internal/svm"
+	"repro/internal/workload"
+)
+
+// SVMPerf is one emulator's Table 2 row set on one machine.
+type SVMPerf struct {
+	Emulator string
+	Machine  string
+	// AccessLatencyMS is the mean HAL begin_access latency (Table 2 row 1).
+	AccessLatencyMS float64
+	// CoherenceCostMS is the mean coherence maintenance duration (row 2).
+	CoherenceCostMS float64
+	// ThroughputGBs is useful data accessed per second (row 3).
+	ThroughputGBs float64
+	// DirectShare is the fraction of coherence done host-direct (§5.2
+	// reports 98% for vSoC).
+	DirectShare float64
+}
+
+// Table2Result is the SVM microbenchmark of §5.2 for the three
+// source-instrumentable emulators on both machines.
+type Table2Result struct {
+	Rows []SVMPerf
+}
+
+// Of returns the row for (emulator, machine).
+func (t *Table2Result) Of(emu, machine string) *SVMPerf {
+	for i := range t.Rows {
+		if t.Rows[i].Emulator == emu && t.Rows[i].Machine == machine {
+			return &t.Rows[i]
+		}
+	}
+	return nil
+}
+
+// runMix runs one app from each emerging category on a fresh session and
+// merges the SVM statistics.
+func runMix(cfg Config, preset emulator.Preset, machine MachineSpec, seedBase int64) (*svm.Stats, time.Duration) {
+	merged := &svm.Stats{}
+	var total time.Duration
+	for cat := 0; cat < emulator.NumCategories; cat++ {
+		if preset.EmergingCompat[cat] == 0 {
+			continue
+		}
+		sess := workload.NewSession(preset, machine.New, seedBase+int64(cat))
+		spec := workload.DefaultSpec(cat, 0, cfg.Duration)
+		if _, err := workload.RunEmerging(sess.Emulator, spec); err == nil {
+			st := sess.SVMStats()
+			merged.AccessLatency.Merge(&st.AccessLatency)
+			merged.HALAccessLatency.Merge(&st.HALAccessLatency)
+			merged.CoherenceCost.Merge(&st.CoherenceCost)
+			merged.SlackIntervals.Merge(&st.SlackIntervals)
+			merged.RegionSizes.Merge(&st.RegionSizes)
+			merged.BytesAccessed += st.BytesAccessed
+			merged.BytesCoherence += st.BytesCoherence
+			merged.BytesWasted += st.BytesWasted
+			merged.DirectCoherence += st.DirectCoherence
+			merged.GuestCoherence += st.GuestCoherence
+			merged.PredTotal += st.PredTotal
+			merged.PredCorrect += st.PredCorrect
+			merged.SlackError.Merge(&st.SlackError)
+			merged.PrefetchTimeError.Merge(&st.PrefetchTimeError)
+			total += cfg.Duration
+		}
+		sess.Close()
+	}
+	return merged, total
+}
+
+// RunTable2 reproduces Table 2: SVM access latency, coherence cost, and
+// throughput for vSoC, GAE, and QEMU-KVM on both machines.
+func RunTable2(cfg Config) *Table2Result {
+	out := &Table2Result{}
+	targets := []emulator.Preset{emulator.VSoC(), emulator.GAE(), emulator.QEMUKVM()}
+	for mi, machine := range []MachineSpec{HighEnd, MidEnd} {
+		for ti, preset := range targets {
+			st, total := runMix(cfg, preset, machine, cfg.Seed+int64(mi*1000+ti*100))
+			row := SVMPerf{
+				Emulator:        preset.Name,
+				Machine:         machine.Name,
+				AccessLatencyMS: st.HALAccessLatency.Mean(),
+				CoherenceCostMS: st.CoherenceCost.Mean(),
+				DirectShare:     st.DirectShare(),
+			}
+			if total > 0 {
+				row.ThroughputGBs = st.Throughput(total) / 1e9
+			}
+			out.Rows = append(out.Rows, row)
+		}
+	}
+	return out
+}
+
+// PredictionResult is the §5.2 prediction-quality report.
+type PredictionResult struct {
+	// DeviceAccuracy per category (paper: 99-100%).
+	DeviceAccuracy map[string]float64
+	// SlackStdErrMS and PrefetchStdErrMS are the standard errors of the
+	// timing predictions (paper: 0.9 ms and 0.3 ms).
+	SlackStdErrMS    float64
+	PrefetchStdErrMS float64
+	// Suspensions counts engine self-suspensions across the mix.
+	Suspensions int
+}
+
+// RunPrediction reproduces the §5.2 prediction-accuracy measurements on the
+// high-end machine.
+func RunPrediction(cfg Config) *PredictionResult {
+	out := &PredictionResult{DeviceAccuracy: make(map[string]float64)}
+	var slackErr, pfErr metrics.Distribution
+	preset := emulator.VSoC()
+	for cat := 0; cat < emulator.NumCategories; cat++ {
+		var correct, total, susp int
+		apps := preset.EmergingCompat[cat]
+		if apps > cfg.AppsPerCategory {
+			apps = cfg.AppsPerCategory
+		}
+		for app := 0; app < apps; app++ {
+			sess := workload.NewSession(preset, HighEnd.New, appSeed(cfg.Seed, 400, cat, app))
+			spec := workload.DefaultSpec(cat, app, cfg.Duration)
+			if _, err := workload.RunEmerging(sess.Emulator, spec); err == nil {
+				st := sess.SVMStats()
+				correct += st.PredCorrect
+				total += st.PredTotal
+				susp += sess.Emulator.Manager.Engine().Suspensions()
+				slackErr.Merge(&st.SlackError)
+				pfErr.Merge(&st.PrefetchTimeError)
+			}
+			sess.Close()
+		}
+		if total > 0 {
+			out.DeviceAccuracy[emulator.CategoryNames[cat]] = float64(correct) / float64(total)
+		}
+		out.Suspensions += susp
+	}
+	out.SlackStdErrMS = slackErr.StdErr()
+	out.PrefetchStdErrMS = pfErr.StdErr()
+	return out
+}
+
+// OverheadResult is the §5.2 framework-overhead report.
+type OverheadResult struct {
+	// MemoryBytes is the SVM framework's resident footprint (paper bound:
+	// 3.1 MiB).
+	MemoryBytes int64
+	// CPUFraction estimates the manager's bookkeeping CPU share (paper:
+	// <1%), charging a nominal 2 microseconds of CPU per SVM operation.
+	CPUFraction float64
+	// FenceTablePeak is the peak occupancy of the 4 KiB fence table.
+	FenceTablePeak int
+	FenceCapacity  int
+}
+
+// RunOverhead reproduces the §5.2 overhead accounting during a camera-app
+// run (the busiest pipeline).
+func RunOverhead(cfg Config) *OverheadResult {
+	sess := workload.NewSession(emulator.VSoC(), HighEnd.New, cfg.Seed)
+	defer sess.Close()
+	spec := workload.DefaultSpec(emulator.CatCamera, 0, cfg.Duration)
+	if _, err := workload.RunEmerging(sess.Emulator, spec); err != nil {
+		return &OverheadResult{}
+	}
+	st := sess.SVMStats()
+	const perOpCPU = 2 * time.Microsecond
+	opCPU := time.Duration(st.Accesses) * perOpCPU
+	return &OverheadResult{
+		MemoryBytes:    sess.Emulator.Manager.MemoryFootprint(),
+		CPUFraction:    float64(opCPU) / float64(cfg.Duration),
+		FenceTablePeak: sess.Emulator.Fences.Peak(),
+		FenceCapacity:  sess.Emulator.Fences.Capacity(),
+	}
+}
+
+// Fig16Result is the write-invalidate access-latency CDF of §5.4.
+type Fig16Result struct {
+	// CDF of begin_access blocking latency (ms) with prefetch disabled.
+	CDF []metrics.CDFPoint
+	MeanMS, P99MS,
+	MaxMS float64
+}
+
+// RunFig16 reproduces Fig. 16: access latency on the high-end machine with
+// the prefetch engine replaced by write-invalidate, on the video apps whose
+// render threads the coherence blocks.
+func RunFig16(cfg Config) *Fig16Result {
+	var all metrics.Distribution
+	preset := emulator.VSoCNoPrefetch()
+	for _, cat := range []int{emulator.CatUHDVideo, emulator.Cat360Video} {
+		apps := cfg.AppsPerCategory
+		if apps > preset.EmergingCompat[cat] {
+			apps = preset.EmergingCompat[cat]
+		}
+		for app := 0; app < apps; app++ {
+			sess := workload.NewSession(preset, HighEnd.New, appSeed(cfg.Seed, 500, cat, app))
+			spec := workload.DefaultSpec(cat, app, cfg.Duration)
+			if _, err := workload.RunEmerging(sess.Emulator, spec); err == nil {
+				all.Merge(&sess.SVMStats().AccessLatency)
+			}
+			sess.Close()
+		}
+	}
+	return &Fig16Result{
+		CDF:    all.CDF(40),
+		MeanMS: all.Mean(),
+		P99MS:  all.Percentile(99),
+		MaxMS:  all.Max(),
+	}
+}

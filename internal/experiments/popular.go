@@ -1,0 +1,65 @@
+package experiments
+
+import (
+	"repro/internal/workload"
+)
+
+// PopularCell is one bar of Fig. 15.
+type PopularCell struct {
+	Emulator string
+	MeanFPS  float64
+	Apps     int // runnable of the top-25 (§5.5 compatibility)
+}
+
+// PopularResult is the Fig. 15 comparison.
+type PopularResult struct {
+	Machine string
+	Cells   []PopularCell
+}
+
+// Of returns the cell for an emulator.
+func (r *PopularResult) Of(name string) *PopularCell {
+	for i := range r.Cells {
+		if r.Cells[i].Emulator == name {
+			return &r.Cells[i]
+		}
+	}
+	return nil
+}
+
+// RunPopular reproduces Fig. 15: the top-25 popular apps across the six
+// emulators on the high-end machine.
+func RunPopular(cfg Config) *PopularResult {
+	mix := workload.PopularMix()
+	if cfg.PopularApps < len(mix) {
+		mix = mix[:cfg.PopularApps]
+	}
+	out := &PopularResult{Machine: HighEnd.Name}
+	for ei, preset := range presets() {
+		cell := PopularCell{Emulator: preset.Name}
+		// Compatibility: the preset runs only PopularCompat of the 25;
+		// scale proportionally for smaller configs.
+		runnable := preset.PopularCompat * len(mix) / 25
+		if runnable > len(mix) {
+			runnable = len(mix)
+		}
+		var fps float64
+		for app := 0; app < runnable; app++ {
+			kind := mix[app]
+			sess := workload.NewSession(preset, HighEnd.New, appSeed(cfg.Seed, 300+ei, int(kind), app))
+			spec := workload.PopularSpec(kind, app, cfg.Duration)
+			r, err := workload.RunPopular(sess.Emulator, kind, spec)
+			sess.Close()
+			if err != nil {
+				continue
+			}
+			fps += r.FPS
+			cell.Apps++
+		}
+		if cell.Apps > 0 {
+			cell.MeanFPS = fps / float64(cell.Apps)
+		}
+		out.Cells = append(out.Cells, cell)
+	}
+	return out
+}

@@ -1,0 +1,151 @@
+// Package fence implements vSoC's virtual command fences (§3.4): virtualized
+// signal/wait instruction pairs attached to guest-dispatched commands, so
+// that happens-before order semantics travel with the command stream and are
+// enforced entirely in the host — without blocking guest drivers (the
+// "atomic" paradigm) and without extra interrupt VM-exits (the
+// "event-driven" paradigm).
+//
+// A signal fence retires when the operations preceding it in its command
+// queue — including any asynchronous device work they issued — have
+// completed. A wait fence parks its queue until the paired signal retires.
+// Multiple waits on one signal are allowed.
+//
+// Fence status lives in a virtual fence table limited to a single 4 KiB
+// guest page shared with the host over MMIO, so status queries are free of
+// transport cost; signaled indices are recycled when the supply of unused
+// indices runs low (§4). Device-specific synchronization primitives (the
+// glFenceSync-style handles of real GPUs) are tracked per physical device in
+// physical fence tables.
+package fence
+
+import (
+	"fmt"
+
+	"repro/internal/sim"
+	"repro/internal/virtio"
+)
+
+// slotBytes is the shared-page footprint of one fence slot.
+const slotBytes = 32
+
+// fenceState tracks a fence's lifecycle.
+type fenceState int
+
+const (
+	stateActive fenceState = iota
+	stateSignaled
+)
+
+// Fence is one virtual fence instance. Obtain fences from a Table. A fence
+// pointer stays valid after its slot is recycled: it remains signaled, so
+// late waiters return immediately.
+type Fence struct {
+	table *Table
+	idx   int
+	state fenceState
+	ev    *sim.Event
+}
+
+// Index returns the fence's slot index in the virtual fence table.
+func (f *Fence) Index() int { return f.idx }
+
+// Signaled reports whether the fence has retired. This is the MMIO status
+// query: free of transport cost.
+func (f *Fence) Signaled() bool { return f.state == stateSignaled }
+
+// Signal retires the fence, waking all waiters. Signaling twice panics:
+// fences take effect in pairs and a double signal is a protocol bug.
+func (f *Fence) Signal() {
+	if f.state != stateActive {
+		panic(fmt.Sprintf("fence: double signal of fence %d", f.idx))
+	}
+	f.state = stateSignaled
+	f.ev.Signal()
+	f.table.maybeRecycle(false)
+}
+
+// Wait parks p until the fence retires. Multiple waiters are allowed.
+func (f *Fence) Wait(p *sim.Proc) { f.ev.Wait(p) }
+
+// Table is the virtual fence table: a fixed set of fence slots bounded by
+// one shared guest page.
+type Table struct {
+	env   *sim.Env
+	page  *virtio.SharedPage
+	slots []*Fence // current occupant per slot; nil when unused
+	free  []int
+
+	// stats
+	allocs   int
+	recycles int
+	peak     int
+}
+
+// NewTable returns a table backed by a fresh 4 KiB shared page.
+func NewTable(env *sim.Env) *Table {
+	page := virtio.NewSharedPage()
+	n := page.Limit / slotBytes
+	if !page.Reserve(n * slotBytes) {
+		panic("fence: slot layout exceeds page")
+	}
+	t := &Table{env: env, page: page, slots: make([]*Fence, n)}
+	for i := range t.slots {
+		t.free = append(t.free, i)
+	}
+	return t
+}
+
+// Capacity returns the total number of fence slots (128 for 4 KiB / 32 B).
+func (t *Table) Capacity() int { return len(t.slots) }
+
+// InUse returns occupied slots (active or signaled-but-unrecycled).
+func (t *Table) InUse() int { return len(t.slots) - len(t.free) }
+
+// Allocs returns the number of fences handed out.
+func (t *Table) Allocs() int { return t.allocs }
+
+// Recycles returns the number of signaled slots reclaimed.
+func (t *Table) Recycles() int { return t.recycles }
+
+// Peak returns the maximum concurrently occupied slot count observed.
+func (t *Table) Peak() int { return t.peak }
+
+// lowWater is the unused-index threshold below which signaled slots are
+// recycled.
+const lowWater = 16
+
+// maybeRecycle reclaims signaled slots when the unused supply is low, or
+// unconditionally when force is set.
+func (t *Table) maybeRecycle(force bool) {
+	if !force && len(t.free) >= lowWater {
+		return
+	}
+	for i, f := range t.slots {
+		if f != nil && f.state == stateSignaled {
+			t.slots[i] = nil
+			t.free = append(t.free, i)
+			t.recycles++
+		}
+	}
+}
+
+// Alloc reserves a fence slot. It panics when every slot holds an active
+// unsignaled fence — a full table of unretired fences means a deadlocked
+// protocol, not a capacity problem.
+func (t *Table) Alloc() *Fence {
+	if len(t.free) == 0 {
+		t.maybeRecycle(true)
+	}
+	if len(t.free) == 0 {
+		panic("fence: table exhausted with no signaled slots to recycle")
+	}
+	idx := t.free[0]
+	t.free = t.free[1:]
+	f := &Fence{table: t, idx: idx, state: stateActive, ev: sim.NewEvent(t.env)}
+	t.slots[idx] = f
+	t.allocs++
+	if in := t.InUse(); in > t.peak {
+		t.peak = in
+	}
+	return f
+}

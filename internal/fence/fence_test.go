@@ -1,0 +1,319 @@
+package fence
+
+import (
+	"testing"
+	"testing/quick"
+	"time"
+
+	"repro/internal/sim"
+)
+
+const ms = time.Millisecond
+
+func TestSignalWaitPair(t *testing.T) {
+	env := sim.NewEnv(1)
+	defer env.Close()
+	tab := NewTable(env)
+	f := tab.Alloc()
+	var woke time.Duration
+	env.Spawn("waiter", func(p *sim.Proc) {
+		f.Wait(p)
+		woke = p.Now()
+	})
+	env.After(5*ms, f.Signal)
+	env.Run()
+	if woke != 5*ms {
+		t.Fatalf("woke at %v, want 5ms", woke)
+	}
+	if !f.Signaled() {
+		t.Fatal("fence should read signaled")
+	}
+}
+
+func TestMultipleWaitersOneSignal(t *testing.T) {
+	env := sim.NewEnv(1)
+	defer env.Close()
+	tab := NewTable(env)
+	f := tab.Alloc()
+	woke := 0
+	for i := 0; i < 3; i++ {
+		env.Spawn("w", func(p *sim.Proc) {
+			f.Wait(p)
+			woke++
+		})
+	}
+	env.After(1*ms, f.Signal)
+	env.Run()
+	if woke != 3 {
+		t.Fatalf("woke = %d, want 3 (multiple waits on one signal are allowed)", woke)
+	}
+}
+
+func TestWaitAfterSignalReturnsImmediately(t *testing.T) {
+	env := sim.NewEnv(1)
+	defer env.Close()
+	tab := NewTable(env)
+	f := tab.Alloc()
+	f.Signal()
+	var woke time.Duration = -1
+	env.Spawn("late", func(p *sim.Proc) {
+		p.Sleep(2 * ms)
+		f.Wait(p)
+		woke = p.Now()
+	})
+	env.Run()
+	if woke != 2*ms {
+		t.Fatalf("woke at %v, want 2ms", woke)
+	}
+}
+
+func TestDoubleSignalPanics(t *testing.T) {
+	env := sim.NewEnv(1)
+	defer env.Close()
+	tab := NewTable(env)
+	f := tab.Alloc()
+	f.Signal()
+	defer func() {
+		if recover() == nil {
+			t.Fatal("want panic on double signal")
+		}
+	}()
+	f.Signal()
+}
+
+func TestTableCapacityIsOnePage(t *testing.T) {
+	env := sim.NewEnv(1)
+	defer env.Close()
+	tab := NewTable(env)
+	if tab.Capacity() != 4096/slotBytes {
+		t.Fatalf("Capacity = %d, want %d", tab.Capacity(), 4096/slotBytes)
+	}
+}
+
+func TestIndexRecyclingUnderPressure(t *testing.T) {
+	env := sim.NewEnv(1)
+	defer env.Close()
+	tab := NewTable(env)
+	// Allocate and immediately signal far more fences than slots: index
+	// recycling must keep this working within one page.
+	n := tab.Capacity() * 10
+	for i := 0; i < n; i++ {
+		f := tab.Alloc()
+		f.Signal()
+	}
+	if tab.Allocs() != n {
+		t.Fatalf("Allocs = %d, want %d", tab.Allocs(), n)
+	}
+	if tab.Recycles() == 0 {
+		t.Fatal("expected recycling to have occurred")
+	}
+	if tab.Peak() > tab.Capacity() {
+		t.Fatalf("Peak = %d exceeds capacity %d", tab.Peak(), tab.Capacity())
+	}
+}
+
+func TestStaleFenceHandleStaysSignaledAfterRecycle(t *testing.T) {
+	env := sim.NewEnv(1)
+	defer env.Close()
+	tab := NewTable(env)
+	old := tab.Alloc()
+	old.Signal()
+	// Force heavy recycling so old's slot is certainly reused.
+	for i := 0; i < tab.Capacity()*3; i++ {
+		tab.Alloc().Signal()
+	}
+	if !old.Signaled() {
+		t.Fatal("stale handle must remain signaled after slot recycling")
+	}
+	// A late waiter on the stale handle returns immediately.
+	ran := false
+	env.Spawn("late", func(p *sim.Proc) {
+		old.Wait(p)
+		ran = true
+	})
+	env.Run()
+	if !ran {
+		t.Fatal("late waiter on recycled fence hung")
+	}
+}
+
+func TestExhaustionWithAllActivePanics(t *testing.T) {
+	env := sim.NewEnv(1)
+	defer env.Close()
+	tab := NewTable(env)
+	for i := 0; i < tab.Capacity(); i++ {
+		tab.Alloc() // never signaled
+	}
+	defer func() {
+		if recover() == nil {
+			t.Fatal("want panic when all slots active")
+		}
+	}()
+	tab.Alloc()
+}
+
+func TestHappensBeforeAcrossQueues(t *testing.T) {
+	// The Fig. 9c scenario: a codec queue writes then signals; a GPU queue
+	// waits then reads. The read must never start before the write ends,
+	// while the guest-side dispatcher never blocks.
+	env := sim.NewEnv(1)
+	defer env.Close()
+	tab := NewTable(env)
+	f := tab.Alloc()
+	var writeEnd, readStart time.Duration
+	env.Spawn("codec-queue", func(p *sim.Proc) {
+		p.Sleep(10 * ms) // the SVM write
+		writeEnd = p.Now()
+		f.Signal()
+	})
+	env.Spawn("gpu-queue", func(p *sim.Proc) {
+		f.Wait(p)
+		readStart = p.Now()
+	})
+	env.Run()
+	if readStart < writeEnd {
+		t.Fatalf("read started %v before write ended %v", readStart, writeEnd)
+	}
+}
+
+func TestPhysicalTableChainSignal(t *testing.T) {
+	// A virtual signal fence must not retire until the device-specific
+	// syncs issued before it complete (asynchronous GPU work).
+	env := sim.NewEnv(1)
+	defer env.Close()
+	tab := NewTable(env)
+	pt := NewPhysicalTable(env, "gpu")
+
+	gpuDone := sim.NewEvent(env)
+	pt.Insert(gpuDone)
+	f := tab.Alloc()
+	pt.ChainSignal(f)
+
+	var retiredAt time.Duration
+	env.Spawn("observer", func(p *sim.Proc) {
+		f.Wait(p)
+		retiredAt = p.Now()
+	})
+	env.After(8*ms, gpuDone.Signal)
+	env.Run()
+	if retiredAt != 8*ms {
+		t.Fatalf("fence retired at %v, want 8ms (after device sync)", retiredAt)
+	}
+}
+
+func TestPhysicalTableChainSignalNoPending(t *testing.T) {
+	env := sim.NewEnv(1)
+	defer env.Close()
+	tab := NewTable(env)
+	pt := NewPhysicalTable(env, "gpu")
+	f := tab.Alloc()
+	pt.ChainSignal(f)
+	if !f.Signaled() {
+		t.Fatal("fence with no pending syncs should retire immediately")
+	}
+}
+
+func TestPhysicalTableWaitAll(t *testing.T) {
+	env := sim.NewEnv(1)
+	defer env.Close()
+	pt := NewPhysicalTable(env, "gpu")
+	a, b := sim.NewEvent(env), sim.NewEvent(env)
+	pt.Insert(a)
+	pt.Insert(b)
+	if pt.Outstanding() != 2 {
+		t.Fatalf("Outstanding = %d, want 2", pt.Outstanding())
+	}
+	var doneAt time.Duration
+	env.Spawn("finisher", func(p *sim.Proc) {
+		pt.WaitAll(p)
+		doneAt = p.Now()
+	})
+	env.After(3*ms, a.Signal)
+	env.After(9*ms, b.Signal)
+	env.Run()
+	if doneAt != 9*ms {
+		t.Fatalf("WaitAll returned at %v, want 9ms", doneAt)
+	}
+	if pt.Outstanding() != 0 {
+		t.Fatal("completed syncs should be pruned")
+	}
+}
+
+func TestPhysicalTableMultipleSyncsChain(t *testing.T) {
+	env := sim.NewEnv(1)
+	defer env.Close()
+	tab := NewTable(env)
+	pt := NewPhysicalTable(env, "gpu")
+	a, b := sim.NewEvent(env), sim.NewEvent(env)
+	pt.Insert(a)
+	pt.Insert(b)
+	f := tab.Alloc()
+	pt.ChainSignal(f)
+	env.After(2*ms, a.Signal)
+	env.RunUntil(5 * ms)
+	if f.Signaled() {
+		t.Fatal("fence retired before all device syncs completed")
+	}
+	env.After(1*ms, b.Signal)
+	env.RunUntil(10 * ms)
+	if !f.Signaled() {
+		t.Fatal("fence should retire after all syncs complete")
+	}
+}
+
+func TestQuickFenceOrderingUnderRandomSignalTimes(t *testing.T) {
+	// Property: for any set of fences signaled at arbitrary times, every
+	// waiter wakes at exactly its fence's signal time (or immediately if
+	// already signaled), and recycling pressure never breaks a handle.
+	f := func(seed int64, delaysRaw []uint8) bool {
+		if len(delaysRaw) == 0 {
+			return true
+		}
+		if len(delaysRaw) > 64 {
+			delaysRaw = delaysRaw[:64]
+		}
+		env := sim.NewEnv(seed)
+		defer env.Close()
+		tab := NewTable(env)
+		ok := true
+		for _, d := range delaysRaw {
+			d := time.Duration(d) * time.Millisecond
+			fn := tab.Alloc()
+			env.After(d, fn.Signal)
+			want := d
+			env.Spawn("waiter", func(p *sim.Proc) {
+				fn.Wait(p)
+				if p.Now() != want {
+					ok = false
+				}
+				if !fn.Signaled() {
+					ok = false
+				}
+			})
+		}
+		env.RunUntil(time.Second)
+		return ok
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 60}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestQuickRecycledHandlesStaySignaled(t *testing.T) {
+	// Property: however many allocate/signal cycles pass, an old signaled
+	// handle always reads signaled.
+	f := func(rounds uint8) bool {
+		env := sim.NewEnv(1)
+		defer env.Close()
+		tab := NewTable(env)
+		old := tab.Alloc()
+		old.Signal()
+		for i := 0; i < int(rounds)*4; i++ {
+			tab.Alloc().Signal()
+		}
+		return old.Signaled()
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 50}); err != nil {
+		t.Fatal(err)
+	}
+}

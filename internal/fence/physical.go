@@ -1,0 +1,105 @@
+package fence
+
+import (
+	"time"
+
+	"repro/internal/sim"
+)
+
+// DeviceSync is one device-specific synchronization primitive — the
+// glFenceSync-style handle the host inserts after issuing asynchronous work
+// to a PC/server device that runs decoupled from the CPU (§3.4).
+type DeviceSync struct {
+	IssuedAt time.Duration
+	Done     *sim.Event
+}
+
+// Completed reports whether the device work behind the sync has finished.
+func (s *DeviceSync) Completed() bool { return s.Done.Fired() }
+
+// PhysicalTable tracks the outstanding device syncs of one physical device.
+// The virtual fence table aggregates these: a virtual signal fence retires
+// only after the device syncs issued before it complete.
+type PhysicalTable struct {
+	Device  string
+	env     *sim.Env
+	pending []*DeviceSync
+	issued  int
+}
+
+// NewPhysicalTable returns an empty table for the named physical device.
+func NewPhysicalTable(env *sim.Env, device string) *PhysicalTable {
+	return &PhysicalTable{Device: device, env: env}
+}
+
+// Insert records asynchronous device work whose completion fires done.
+func (t *PhysicalTable) Insert(done *sim.Event) *DeviceSync {
+	s := &DeviceSync{IssuedAt: t.env.Now(), Done: done}
+	t.pending = append(t.pending, s)
+	t.issued++
+	return s
+}
+
+// Issued returns the total syncs ever inserted.
+func (t *PhysicalTable) Issued() int { return t.issued }
+
+// Outstanding returns the number of incomplete syncs, pruning completed
+// ones.
+func (t *PhysicalTable) Outstanding() int {
+	t.prune()
+	return len(t.pending)
+}
+
+func (t *PhysicalTable) prune() {
+	live := t.pending[:0]
+	for _, s := range t.pending {
+		if !s.Completed() {
+			live = append(live, s)
+		}
+	}
+	t.pending = live
+}
+
+// WaitAll parks p until every currently outstanding sync completes — the
+// glFinish-style full barrier.
+func (t *PhysicalTable) WaitAll(p *sim.Proc) {
+	t.prune()
+	// Snapshot: syncs inserted after WaitAll begins are not waited on.
+	snapshot := make([]*DeviceSync, len(t.pending))
+	copy(snapshot, t.pending)
+	for _, s := range snapshot {
+		s.Done.Wait(p)
+	}
+	t.prune()
+}
+
+// ChainSignal arranges for virtual fence f to retire once every currently
+// outstanding device sync completes. When none are outstanding, f retires
+// immediately. This is the translation from virtual fences to
+// device-specific primitives (§3.4).
+func (t *PhysicalTable) ChainSignal(f *Fence) {
+	t.prune()
+	if len(t.pending) == 0 {
+		f.Signal()
+		return
+	}
+	remaining := len(t.pending)
+	for _, s := range t.pending {
+		s := s
+		done := func() {
+			remaining--
+			if remaining == 0 {
+				f.Signal()
+			}
+		}
+		if s.Completed() {
+			done()
+			continue
+		}
+		// Watcher process: wait for the device sync, then count down.
+		t.env.Spawn("fence-chain:"+t.Device, func(p *sim.Proc) {
+			s.Done.Wait(p)
+			done()
+		})
+	}
+}

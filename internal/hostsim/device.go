@@ -1,0 +1,127 @@
+package hostsim
+
+import (
+	"time"
+
+	"repro/internal/sim"
+)
+
+// DeviceKind classifies physical host devices.
+type DeviceKind int
+
+const (
+	DevCPU DeviceKind = iota
+	DevGPU
+	DevCamera
+	DevNIC
+)
+
+var deviceKindNames = map[DeviceKind]string{
+	DevCPU:    "cpu",
+	DevGPU:    "gpu",
+	DevCamera: "camera",
+	DevNIC:    "nic",
+}
+
+func (k DeviceKind) String() string { return deviceKindNames[k] }
+
+// Device is a physical compute device: it executes work items that occupy
+// one of its execution units for a duration, scaled by the device's current
+// speed factor (thermal throttling slows the CPU on laptops, §5.3).
+type Device struct {
+	Name   string
+	Kind   DeviceKind
+	Local  *Domain // the memory domain holding this device's local data
+	units  *sim.Semaphore
+	speed  func() float64 // current speed factor in (0,1]
+	busy   time.Duration
+	thermo *Thermal // non-nil when execution heats a thermal model
+
+	// lastUser tracks which virtual device last executed here, so the
+	// virtualization layer can charge context-switch stalls when several
+	// virtual devices share one physical device (§3.4's GPU context
+	// switches).
+	lastUser string
+}
+
+// NewDevice returns a device with the given number of parallel execution
+// units whose local data lives in local.
+func NewDevice(env *sim.Env, name string, kind DeviceKind, local *Domain, units int64) *Device {
+	return &Device{
+		Name:  name,
+		Kind:  kind,
+		Local: local,
+		units: sim.NewSemaphore(env, units),
+		speed: func() float64 { return 1 },
+	}
+}
+
+// SetSpeedSource installs a dynamic speed factor (used by thermal models).
+func (d *Device) SetSpeedSource(f func() float64) { d.speed = f }
+
+// SetThermal attaches a thermal model heated by this device's execution.
+func (d *Device) SetThermal(t *Thermal) {
+	d.thermo = t
+	d.SetSpeedSource(t.SpeedFactor)
+}
+
+// Speed returns the current speed factor.
+func (d *Device) Speed() float64 { return d.speed() }
+
+// Exec runs a work item whose cost is the given duration at nominal speed,
+// occupying one execution unit. The elapsed time stretches when the device
+// is throttled. It returns total elapsed time including queueing.
+func (d *Device) Exec(p *sim.Proc, cost time.Duration) time.Duration {
+	start := p.Now()
+	d.units.Acquire(p, 1)
+	eff := time.Duration(float64(cost) / d.speed())
+	p.Sleep(eff)
+	d.units.Release(1)
+	d.busy += eff
+	if d.thermo != nil {
+		d.thermo.AddWork(eff)
+	}
+	return p.Now() - start
+}
+
+// TryExec runs the work only if a unit is free right now, reporting whether
+// it ran.
+func (d *Device) TryExec(p *sim.Proc, cost time.Duration) bool {
+	if !d.units.TryAcquire(1) {
+		return false
+	}
+	eff := time.Duration(float64(cost) / d.speed())
+	p.Sleep(eff)
+	d.units.Release(1)
+	d.busy += eff
+	if d.thermo != nil {
+		d.thermo.AddWork(eff)
+	}
+	return true
+}
+
+// SwitchUser records that the named virtual device is about to execute and
+// reports whether that is a context switch from a different user.
+func (d *Device) SwitchUser(name string) bool {
+	if d.lastUser == name {
+		return false
+	}
+	d.lastUser = name
+	return true
+}
+
+// Units returns the total execution units.
+func (d *Device) Units() int64 { return d.units.Capacity() }
+
+// BusyTime returns cumulative execution time across units.
+func (d *Device) BusyTime() time.Duration { return d.busy }
+
+// Utilization returns busy time divided by (elapsed × units).
+func (d *Device) Utilization(elapsed time.Duration) float64 {
+	if elapsed <= 0 {
+		return 0
+	}
+	return float64(d.busy) / (float64(elapsed) * float64(d.units.Capacity()))
+}
+
+func (d *Device) String() string { return d.Name }

@@ -1,0 +1,86 @@
+package hostsim
+
+import (
+	"time"
+
+	"repro/internal/sim"
+)
+
+// Link is a transfer path between two memory domains with finite bandwidth.
+// Transfers serialize FIFO on the link, so contention appears as queueing
+// delay — the behaviour that makes concurrent coherence traffic slow each
+// other down, as the paper's bandwidth-waste argument requires (§2.4).
+type Link struct {
+	Name      string
+	Bandwidth float64 // bytes per second, asynchronous/DMA path
+	// SyncBandwidth is the bytes-per-second achieved by synchronous,
+	// CPU-driven copies (e.g. a blocking glTexSubImage upload staging
+	// through the driver, vs an asynchronous DMA transfer). Defaults to
+	// Bandwidth; PCIe-class links set it far lower. This asymmetry is why
+	// demand-fetch coherence blocks for tens of milliseconds while the
+	// prefetch engine's DMA pushes take ~1-2 ms (§5.2, Fig. 16).
+	SyncBandwidth float64
+	Latency       time.Duration // fixed per-transfer setup cost
+	sem           *sim.Semaphore
+	moved         Bytes // total bytes carried (telemetry)
+	busy          time.Duration
+}
+
+// NewLink returns a link with the given bandwidth (bytes/second) and fixed
+// per-transfer latency.
+func NewLink(env *sim.Env, name string, bandwidth float64, latency time.Duration) *Link {
+	if bandwidth <= 0 {
+		panic("hostsim: link bandwidth must be positive")
+	}
+	return &Link{Name: name, Bandwidth: bandwidth, SyncBandwidth: bandwidth,
+		Latency: latency, sem: sim.NewSemaphore(env, 1)}
+}
+
+// TransferTime returns the uncontended duration to move size bytes by DMA.
+func (l *Link) TransferTime(size Bytes) time.Duration {
+	return l.Latency + time.Duration(float64(size)/l.Bandwidth*float64(time.Second))
+}
+
+// SyncTransferTime returns the uncontended duration of a synchronous copy.
+func (l *Link) SyncTransferTime(size Bytes) time.Duration {
+	return l.Latency + time.Duration(float64(size)/l.SyncBandwidth*float64(time.Second))
+}
+
+// Transfer moves size bytes across the link by DMA, blocking p for queueing
+// plus transfer time. It returns the total elapsed duration including
+// queueing.
+func (l *Link) Transfer(p *sim.Proc, size Bytes) time.Duration {
+	elapsed, _ := l.transfer(p, size, false)
+	return elapsed
+}
+
+// TransferSync moves size bytes with a synchronous CPU-driven copy.
+func (l *Link) TransferSync(p *sim.Proc, size Bytes) time.Duration {
+	elapsed, _ := l.transfer(p, size, true)
+	return elapsed
+}
+
+// transfer returns the total elapsed time (including queueing) and the pure
+// service (wire) time.
+func (l *Link) transfer(p *sim.Proc, size Bytes, sync bool) (time.Duration, time.Duration) {
+	start := p.Now()
+	l.sem.Acquire(p, 1)
+	d := l.TransferTime(size)
+	if sync {
+		d = l.SyncTransferTime(size)
+	}
+	p.Sleep(d)
+	l.sem.Release(1)
+	l.moved += size
+	l.busy += d
+	return p.Now() - start, d
+}
+
+// BytesMoved returns the total bytes this link has carried.
+func (l *Link) BytesMoved() Bytes { return l.moved }
+
+// BusyTime returns the cumulative time the link spent transferring.
+func (l *Link) BusyTime() time.Duration { return l.busy }
+
+// QueueDepth returns the number of transfers waiting or in flight.
+func (l *Link) QueueDepth() int64 { return l.sem.InUse() }

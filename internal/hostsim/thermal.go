@@ -1,0 +1,84 @@
+package hostsim
+
+import (
+	"time"
+
+	"repro/internal/sim"
+)
+
+// Thermal models sustained-load thermal throttling of a laptop-class CPU:
+// executed work heats the package, idle time cools it, and above the
+// throttle threshold the device runs at ThrottledSpeed. This reproduces the
+// §5.3 observation that video apps on the middle-end laptop start near 30
+// FPS and degrade within a minute once the package saturates.
+type Thermal struct {
+	env *sim.Env
+
+	// HeatPerBusySecond is the temperature rise (°C) per second of
+	// execution-unit busy time.
+	HeatPerBusySecond float64
+	// CoolPerSecond is the passive cooling rate (°C per wall second).
+	CoolPerSecond float64
+	// Ambient is the idle temperature; the model never cools below it.
+	Ambient float64
+	// ThrottleAt is the temperature above which throttling engages.
+	ThrottleAt float64
+	// ResumeAt is the temperature below which full speed resumes
+	// (hysteresis; must be <= ThrottleAt).
+	ResumeAt float64
+	// ThrottledSpeed is the speed factor while throttled, in (0,1).
+	ThrottledSpeed float64
+
+	temp      float64
+	throttled bool
+	lastTick  time.Duration
+	pending   time.Duration // busy time accumulated since last tick
+}
+
+// NewThermal returns a thermal model ticking every interval of virtual time.
+// A nil-safe zero configuration never throttles; callers set the exported
+// fields before the first tick.
+func NewThermal(env *sim.Env, interval time.Duration) *Thermal {
+	t := &Thermal{env: env, ThrottledSpeed: 1, Ambient: 40}
+	t.temp = t.Ambient
+	var tick func()
+	tick = func() {
+		t.step(interval)
+		env.After(interval, tick)
+	}
+	env.After(interval, tick)
+	return t
+}
+
+// AddWork reports busy execution time to the model.
+func (t *Thermal) AddWork(d time.Duration) { t.pending += d }
+
+func (t *Thermal) step(interval time.Duration) {
+	heat := t.HeatPerBusySecond * t.pending.Seconds()
+	cool := t.CoolPerSecond * interval.Seconds()
+	t.pending = 0
+	t.temp += heat - cool
+	if t.temp < t.Ambient {
+		t.temp = t.Ambient
+	}
+	if !t.throttled && t.temp >= t.ThrottleAt && t.ThrottleAt > 0 {
+		t.throttled = true
+	}
+	if t.throttled && t.temp <= t.ResumeAt {
+		t.throttled = false
+	}
+}
+
+// Temperature returns the modeled package temperature.
+func (t *Thermal) Temperature() float64 { return t.temp }
+
+// Throttled reports whether throttling is engaged.
+func (t *Thermal) Throttled() bool { return t.throttled }
+
+// SpeedFactor returns the current speed multiplier.
+func (t *Thermal) SpeedFactor() float64 {
+	if t.throttled {
+		return t.ThrottledSpeed
+	}
+	return 1
+}

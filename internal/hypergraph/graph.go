@@ -1,0 +1,245 @@
+// Package hypergraph implements the twin hypergraphs of vSoC's SVM Manager
+// (§3.2): two directed hypergraphs modeling the data flows of virtual and
+// physical devices, plus a hashtable mapping SVM regions to the hyperedge
+// pair describing their flow.
+//
+// Nodes are devices (known at emulator startup); hyperedges are data flows
+// discovered at run time. A hyperedge may have multiple destinations — e.g.
+// a camera write read by both the ISP and the GPU — which is why ordinary
+// edges do not suffice. Data flows and SVM regions are one-to-many: a
+// buffered pipeline's chain of regions all map to the same hyperedge, which
+// is what gives new regions zero-shot predictions (§3.3).
+package hypergraph
+
+import (
+	"fmt"
+	"sort"
+	"strings"
+	"time"
+
+	"repro/internal/metrics"
+)
+
+// NodeID identifies a device node. Virtual and physical graphs use
+// independent ID spaces.
+type NodeID int
+
+// EdgeKey canonically identifies a hyperedge by its source and destination
+// node sets.
+type EdgeKey string
+
+func keyOf(sources, dests []NodeID) EdgeKey {
+	var b strings.Builder
+	for i, s := range sources {
+		if i > 0 {
+			b.WriteByte(',')
+		}
+		fmt.Fprintf(&b, "%d", s)
+	}
+	b.WriteString("->")
+	for i, d := range dests {
+		if i > 0 {
+			b.WriteByte(',')
+		}
+		fmt.Fprintf(&b, "%d", d)
+	}
+	return EdgeKey(b.String())
+}
+
+// Edge is one directed hyperedge: a data flow from the source device set to
+// the destination device set, carrying the per-flow statistics used by the
+// prefetch engine. The virtual layer records high-level flow properties
+// (slack intervals); the physical layer records transfer properties (sizes,
+// bandwidths, prefetch durations).
+type Edge struct {
+	Key     EdgeKey
+	Sources []NodeID
+	Dests   []NodeID
+
+	// Uses counts accesses attributed to this flow.
+	Uses int64
+	// LastUseAt is the virtual time of the last attribution.
+	LastUseAt time.Duration
+
+	// Smoothed per-flow series, keyed by a caller-chosen stat name (the
+	// prefetch engine uses "slack_ms", "size_bytes", "bandwidth_bps",
+	// "prefetch_ms"). Series are created on first observation with the
+	// paper's alpha.
+	series map[string]*metrics.EWMA
+}
+
+func newEdge(sources, dests []NodeID) *Edge {
+	return &Edge{
+		Key:     keyOf(sources, dests),
+		Sources: sources,
+		Dests:   dests,
+		series:  make(map[string]*metrics.EWMA),
+	}
+}
+
+// Observe folds an observation into the named smoothed series.
+func (e *Edge) Observe(stat string, v float64) {
+	s, ok := e.series[stat]
+	if !ok {
+		s = metrics.NewEWMA(metrics.DefaultAlpha)
+		e.series[stat] = s
+	}
+	s.Observe(v)
+}
+
+// Forecast returns the smoothed forecast for the named series and whether
+// any observation exists.
+func (e *Edge) Forecast(stat string) (float64, bool) {
+	s, ok := e.series[stat]
+	if !ok || !s.Warm() {
+		return 0, false
+	}
+	return s.Value(), true
+}
+
+// Touch records an attribution at time t.
+func (e *Edge) Touch(t time.Duration) {
+	e.Uses++
+	e.LastUseAt = t
+}
+
+// HasSource reports whether id is among the edge's sources.
+func (e *Edge) HasSource(id NodeID) bool {
+	for _, s := range e.Sources {
+		if s == id {
+			return true
+		}
+	}
+	return false
+}
+
+// HasDest reports whether id is among the edge's destinations.
+func (e *Edge) HasDest(id NodeID) bool {
+	for _, d := range e.Dests {
+		if d == id {
+			return true
+		}
+	}
+	return false
+}
+
+func (e *Edge) String() string { return string(e.Key) }
+
+// Graph is one directed hypergraph layer. Nodes are registered at startup
+// (they are "known at compile time" in the paper); edges are discovered
+// dynamically.
+type Graph struct {
+	Name  string
+	nodes map[NodeID]string
+	edges map[EdgeKey]*Edge
+	// bySource indexes edges by each source node for flow lookup.
+	bySource map[NodeID][]*Edge
+}
+
+// New returns an empty graph layer.
+func New(name string) *Graph {
+	return &Graph{
+		Name:     name,
+		nodes:    make(map[NodeID]string),
+		edges:    make(map[EdgeKey]*Edge),
+		bySource: make(map[NodeID][]*Edge),
+	}
+}
+
+// AddNode registers a device node.
+func (g *Graph) AddNode(id NodeID, name string) {
+	g.nodes[id] = name
+}
+
+// NodeName returns the registered name, or "?" for unknown nodes.
+func (g *Graph) NodeName(id NodeID) string {
+	if n, ok := g.nodes[id]; ok {
+		return n
+	}
+	return "?"
+}
+
+// NumNodes returns the registered node count.
+func (g *Graph) NumNodes() int { return len(g.nodes) }
+
+// NumEdges returns the discovered edge count.
+func (g *Graph) NumEdges() int { return len(g.edges) }
+
+// Edge finds or creates the hyperedge for the given source and destination
+// sets. The sets are canonicalized (sorted, deduplicated), so argument
+// order never creates duplicate edges. Unregistered nodes panic: the node
+// sets are fixed at startup.
+func (g *Graph) Edge(sources, dests []NodeID) *Edge {
+	s := canon(sources)
+	d := canon(dests)
+	for _, id := range s {
+		if _, ok := g.nodes[id]; !ok {
+			panic(fmt.Sprintf("hypergraph: unknown source node %d in %s", id, g.Name))
+		}
+	}
+	for _, id := range d {
+		if _, ok := g.nodes[id]; !ok {
+			panic(fmt.Sprintf("hypergraph: unknown dest node %d in %s", id, g.Name))
+		}
+	}
+	key := keyOf(s, d)
+	if e, ok := g.edges[key]; ok {
+		return e
+	}
+	e := newEdge(s, d)
+	g.edges[key] = e
+	for _, id := range s {
+		g.bySource[id] = append(g.bySource[id], e)
+	}
+	return e
+}
+
+// Lookup returns the edge for the given sets without creating it.
+func (g *Graph) Lookup(sources, dests []NodeID) (*Edge, bool) {
+	e, ok := g.edges[keyOf(canon(sources), canon(dests))]
+	return e, ok
+}
+
+// EdgesFrom returns the edges whose source set contains id.
+func (g *Graph) EdgesFrom(id NodeID) []*Edge { return g.bySource[id] }
+
+// Edges returns all edges in deterministic key order.
+func (g *Graph) Edges() []*Edge {
+	keys := make([]string, 0, len(g.edges))
+	for k := range g.edges {
+		keys = append(keys, string(k))
+	}
+	sort.Strings(keys)
+	out := make([]*Edge, len(keys))
+	for i, k := range keys {
+		out[i] = g.edges[EdgeKey(k)]
+	}
+	return out
+}
+
+// HottestFrom returns the most recently used edge sourced at id, preferring
+// higher use counts on ties — the flow a fresh region most likely belongs
+// to (zero-shot prediction, §3.3).
+func (g *Graph) HottestFrom(id NodeID) (*Edge, bool) {
+	var best *Edge
+	for _, e := range g.bySource[id] {
+		if best == nil || e.LastUseAt > best.LastUseAt ||
+			(e.LastUseAt == best.LastUseAt && e.Uses > best.Uses) {
+			best = e
+		}
+	}
+	return best, best != nil
+}
+
+func canon(ids []NodeID) []NodeID {
+	out := make([]NodeID, 0, len(ids))
+	seen := make(map[NodeID]bool, len(ids))
+	for _, id := range ids {
+		if !seen[id] {
+			seen[id] = true
+			out = append(out, id)
+		}
+	}
+	sort.Slice(out, func(i, j int) bool { return out[i] < out[j] })
+	return out
+}

@@ -1,0 +1,226 @@
+package hypergraph
+
+import (
+	"testing"
+	"testing/quick"
+	"time"
+)
+
+func newTestGraph() *Graph {
+	g := New("test")
+	for i := NodeID(0); i < 6; i++ {
+		g.AddNode(i, string(rune('A'+int(i))))
+	}
+	return g
+}
+
+func TestEdgeFindOrCreate(t *testing.T) {
+	g := newTestGraph()
+	e1 := g.Edge([]NodeID{0}, []NodeID{1, 2})
+	e2 := g.Edge([]NodeID{0}, []NodeID{2, 1}) // different order, same sets
+	if e1 != e2 {
+		t.Fatal("canonicalization should dedupe edges")
+	}
+	if g.NumEdges() != 1 {
+		t.Fatalf("NumEdges = %d, want 1", g.NumEdges())
+	}
+}
+
+func TestEdgeDedupesNodeSets(t *testing.T) {
+	g := newTestGraph()
+	e := g.Edge([]NodeID{0, 0}, []NodeID{1, 1, 2})
+	if len(e.Sources) != 1 || len(e.Dests) != 2 {
+		t.Fatalf("sets = %v -> %v, want deduped", e.Sources, e.Dests)
+	}
+}
+
+func TestUnknownNodePanics(t *testing.T) {
+	g := newTestGraph()
+	defer func() {
+		if recover() == nil {
+			t.Fatal("want panic for unregistered node")
+		}
+	}()
+	g.Edge([]NodeID{99}, []NodeID{1})
+}
+
+func TestLookupDoesNotCreate(t *testing.T) {
+	g := newTestGraph()
+	if _, ok := g.Lookup([]NodeID{0}, []NodeID{1}); ok {
+		t.Fatal("lookup should miss")
+	}
+	if g.NumEdges() != 0 {
+		t.Fatal("lookup must not create edges")
+	}
+}
+
+func TestEdgesFromIndex(t *testing.T) {
+	g := newTestGraph()
+	g.Edge([]NodeID{0}, []NodeID{1})
+	g.Edge([]NodeID{0}, []NodeID{2})
+	g.Edge([]NodeID{1}, []NodeID{2})
+	if got := len(g.EdgesFrom(0)); got != 2 {
+		t.Fatalf("EdgesFrom(0) = %d edges, want 2", got)
+	}
+	if got := len(g.EdgesFrom(2)); got != 0 {
+		t.Fatalf("EdgesFrom(2) = %d edges, want 0", got)
+	}
+}
+
+func TestMultiSourceEdgeIndexedUnderEachSource(t *testing.T) {
+	g := newTestGraph()
+	g.Edge([]NodeID{0, 1}, []NodeID{2})
+	if len(g.EdgesFrom(0)) != 1 || len(g.EdgesFrom(1)) != 1 {
+		t.Fatal("multi-source edge should index under both sources")
+	}
+}
+
+func TestHottestFromPrefersRecency(t *testing.T) {
+	g := newTestGraph()
+	old := g.Edge([]NodeID{0}, []NodeID{1})
+	recent := g.Edge([]NodeID{0}, []NodeID{2})
+	old.Touch(1 * time.Millisecond)
+	old.Touch(2 * time.Millisecond)
+	recent.Touch(5 * time.Millisecond)
+	e, ok := g.HottestFrom(0)
+	if !ok || e != recent {
+		t.Fatalf("HottestFrom = %v, want the recently used edge", e)
+	}
+	if _, ok := g.HottestFrom(3); ok {
+		t.Fatal("HottestFrom with no edges should report false")
+	}
+}
+
+func TestForecastSeries(t *testing.T) {
+	g := newTestGraph()
+	e := g.Edge([]NodeID{0}, []NodeID{1})
+	if _, ok := e.Forecast("slack_ms"); ok {
+		t.Fatal("unobserved series should miss")
+	}
+	e.Observe("slack_ms", 16)
+	e.Observe("slack_ms", 18)
+	v, ok := e.Forecast("slack_ms")
+	if !ok || v != 17 {
+		t.Fatalf("Forecast = %v/%v, want 17/true", v, ok)
+	}
+}
+
+func TestHasSourceHasDest(t *testing.T) {
+	g := newTestGraph()
+	e := g.Edge([]NodeID{0}, []NodeID{1, 2})
+	if !e.HasSource(0) || e.HasSource(1) {
+		t.Fatal("HasSource wrong")
+	}
+	if !e.HasDest(2) || e.HasDest(0) {
+		t.Fatal("HasDest wrong")
+	}
+}
+
+func TestEdgesDeterministicOrder(t *testing.T) {
+	g := newTestGraph()
+	g.Edge([]NodeID{2}, []NodeID{3})
+	g.Edge([]NodeID{0}, []NodeID{1})
+	g.Edge([]NodeID{1}, []NodeID{2})
+	a := g.Edges()
+	b := g.Edges()
+	for i := range a {
+		if a[i] != b[i] {
+			t.Fatal("Edges() order not deterministic")
+		}
+	}
+}
+
+func TestTwinMapping(t *testing.T) {
+	tw := NewTwin()
+	tw.Virtual.AddNode(0, "vcam")
+	tw.Virtual.AddNode(1, "vgpu")
+	tw.Physical.AddNode(0, "cam")
+	tw.Physical.AddNode(1, "gpu")
+	ve := tw.Virtual.Edge([]NodeID{0}, []NodeID{1})
+	pe := tw.Physical.Edge([]NodeID{0}, []NodeID{1})
+	tw.Map(42, Mapping{Virtual: ve, Physical: pe})
+	m, ok := tw.Lookup(42)
+	if !ok || m.Virtual != ve || m.Physical != pe {
+		t.Fatal("mapping lookup failed")
+	}
+	tw.Unmap(42)
+	if _, ok := tw.Lookup(42); ok {
+		t.Fatal("unmapped region still resolves")
+	}
+}
+
+func TestTwinRemapReplaces(t *testing.T) {
+	tw := NewTwin()
+	tw.Virtual.AddNode(0, "a")
+	tw.Virtual.AddNode(1, "b")
+	tw.Virtual.AddNode(2, "c")
+	e1 := tw.Virtual.Edge([]NodeID{0}, []NodeID{1})
+	e2 := tw.Virtual.Edge([]NodeID{0}, []NodeID{2})
+	tw.Map(7, Mapping{Virtual: e1})
+	tw.Map(7, Mapping{Virtual: e2})
+	m, _ := tw.Lookup(7)
+	if m.Virtual != e2 {
+		t.Fatal("remap should replace mapping")
+	}
+	if tw.NumMapped() != 1 {
+		t.Fatalf("NumMapped = %d, want 1", tw.NumMapped())
+	}
+}
+
+func TestMemoryFootprintBounded(t *testing.T) {
+	// A realistic population — a dozen devices, dozens of flows, a few
+	// thousand live regions — must stay within the paper's 3.1 MiB bound.
+	tw := NewTwin()
+	for i := NodeID(0); i < 12; i++ {
+		tw.Virtual.AddNode(i, "v")
+		tw.Physical.AddNode(i, "p")
+	}
+	for i := NodeID(0); i < 11; i++ {
+		ve := tw.Virtual.Edge([]NodeID{i}, []NodeID{i + 1})
+		pe := tw.Physical.Edge([]NodeID{i}, []NodeID{i + 1})
+		for _, s := range []string{"slack_ms", "size_bytes", "bandwidth_bps", "prefetch_ms"} {
+			ve.Observe(s, 1)
+			pe.Observe(s, 1)
+		}
+		for r := uint64(0); r < 500; r++ {
+			tw.Map(uint64(i)*1000+r, Mapping{Virtual: ve, Physical: pe})
+		}
+	}
+	fp := tw.MemoryFootprint()
+	if fp <= 0 {
+		t.Fatal("footprint should be positive")
+	}
+	if fp > 3100*1024 {
+		t.Fatalf("footprint = %d bytes, exceeds the 3.1 MiB budget", fp)
+	}
+}
+
+func TestQuickEdgeCanonicalization(t *testing.T) {
+	// Any permutation/duplication of the same node sets yields one edge.
+	g := newTestGraph()
+	f := func(srcRaw, dstRaw []uint8) bool {
+		if len(srcRaw) == 0 || len(dstRaw) == 0 {
+			return true
+		}
+		src := make([]NodeID, len(srcRaw))
+		for i, v := range srcRaw {
+			src[i] = NodeID(v % 6)
+		}
+		dst := make([]NodeID, len(dstRaw))
+		for i, v := range dstRaw {
+			dst[i] = NodeID(v % 6)
+		}
+		e1 := g.Edge(src, dst)
+		// Reverse both slices: same sets.
+		for i, j := 0, len(src)-1; i < j; i, j = i+1, j-1 {
+			src[i], src[j] = src[j], src[i]
+		}
+		for i, j := 0, len(dst)-1; i < j; i, j = i+1, j-1 {
+			dst[i], dst[j] = dst[j], dst[i]
+		}
+		return g.Edge(src, dst) == e1
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 200}); err != nil {
+		t.Fatal(err)
+	}
+}

@@ -1,0 +1,232 @@
+// Package omx implements the OpenMAX IL-style guest userspace codec driver
+// of §4: vSoC's guest codec driver is written against the OpenMAX IL
+// component specification that Android and OpenHarmony require, and this
+// package models that component — the Loaded/Idle/Executing state machine,
+// input/output ports with buffer headers, EmptyThisBuffer/FillThisBuffer,
+// and the EmptyBufferDone/FillBufferDone callbacks — on top of the
+// paravirtual codec device.
+//
+// Buffer headers carry SVM region IDs rather than data, exactly as §3.2's
+// unified representation intends: the component shuffles handles; the SVM
+// framework moves bytes.
+package omx
+
+import (
+	"errors"
+	"fmt"
+	"time"
+
+	"repro/internal/device"
+	"repro/internal/hostsim"
+	"repro/internal/sim"
+	"repro/internal/svm"
+)
+
+// State is the OMX IL component state.
+type State int
+
+const (
+	StateInvalid State = iota
+	StateLoaded
+	StateIdle
+	StateExecuting
+)
+
+var stateNames = map[State]string{
+	StateInvalid: "Invalid", StateLoaded: "Loaded",
+	StateIdle: "Idle", StateExecuting: "Executing",
+}
+
+func (s State) String() string { return stateNames[s] }
+
+// Errors returned by component calls.
+var (
+	ErrWrongState  = errors.New("omx: command invalid in current state")
+	ErrNoBuffers   = errors.New("omx: ports need buffers before Idle")
+	ErrNotOwner    = errors.New("omx: buffer not registered with this port")
+	ErrUnsupported = errors.New("omx: unsupported transition")
+)
+
+// BufferHeader is the OMX buffer header: an SVM-handle-carrying descriptor
+// exchanged between the client and the component.
+type BufferHeader struct {
+	Region svm.RegionID
+	// AllocLen is the buffer capacity; FilledLen the valid bytes.
+	AllocLen, FilledLen hostsim.Bytes
+	// PTS is the presentation timestamp (§5.4's MediaCodec semantics).
+	PTS time.Duration
+	// Ticket orders downstream consumers behind the component's write.
+	Ticket *device.Ticket
+	// EOS marks the end of stream.
+	EOS bool
+}
+
+// Callbacks are delivered from component context when buffers return to the
+// client.
+type Callbacks struct {
+	EmptyBufferDone func(p *sim.Proc, h *BufferHeader)
+	FillBufferDone  func(p *sim.Proc, h *BufferHeader)
+}
+
+// Component is one OMX IL video-decoder component instance.
+type Component struct {
+	Name string
+
+	env   *sim.Env
+	codec *device.Device
+	cb    Callbacks
+
+	// decodeCost returns the device execution cost for a frame decoded
+	// from n compressed bytes.
+	decodeCost func(n hostsim.Bytes) time.Duration
+
+	state State
+
+	inBuffers  map[svm.RegionID]*BufferHeader
+	outBuffers map[svm.RegionID]*BufferHeader
+
+	inQ  *sim.Queue[*BufferHeader]
+	outQ *sim.Queue[*BufferHeader]
+
+	decoded int
+	stopped *sim.Event
+}
+
+// NewComponent returns a component in the Loaded state, decoding through
+// the given paravirtual codec device.
+func NewComponent(env *sim.Env, name string, codec *device.Device,
+	decodeCost func(hostsim.Bytes) time.Duration, cb Callbacks) *Component {
+
+	return &Component{
+		Name:       name,
+		env:        env,
+		codec:      codec,
+		cb:         cb,
+		decodeCost: decodeCost,
+		state:      StateLoaded,
+		inBuffers:  make(map[svm.RegionID]*BufferHeader),
+		outBuffers: make(map[svm.RegionID]*BufferHeader),
+		inQ:        sim.NewQueue[*BufferHeader](env, 0),
+		outQ:       sim.NewQueue[*BufferHeader](env, 0),
+		stopped:    sim.NewEvent(env),
+	}
+}
+
+// GetState returns the component state.
+func (c *Component) GetState() State { return c.state }
+
+// Decoded returns frames decoded so far.
+func (c *Component) Decoded() int { return c.decoded }
+
+// UseInputBuffer registers an input (compressed bitstream) buffer with the
+// component, Loaded state only (OMX_UseBuffer).
+func (c *Component) UseInputBuffer(h *BufferHeader) error {
+	if c.state != StateLoaded {
+		return ErrWrongState
+	}
+	c.inBuffers[h.Region] = h
+	return nil
+}
+
+// UseOutputBuffer registers an output (decoded frame) buffer.
+func (c *Component) UseOutputBuffer(h *BufferHeader) error {
+	if c.state != StateLoaded {
+		return ErrWrongState
+	}
+	c.outBuffers[h.Region] = h
+	return nil
+}
+
+// SendCommand performs an OMX_CommandStateSet transition. Valid chains:
+// Loaded -> Idle (buffers required) -> Executing -> Idle -> Loaded.
+func (c *Component) SendCommand(p *sim.Proc, target State) error {
+	switch {
+	case c.state == StateLoaded && target == StateIdle:
+		if len(c.inBuffers) == 0 || len(c.outBuffers) == 0 {
+			return ErrNoBuffers
+		}
+		// Port allocation handshake with the device.
+		p.Sleep(200 * time.Microsecond)
+		c.state = StateIdle
+	case c.state == StateIdle && target == StateExecuting:
+		c.state = StateExecuting
+		c.env.Spawn(c.Name+"-omx", c.loop)
+	case c.state == StateExecuting && target == StateIdle:
+		c.state = StateIdle
+		// The loop drains on the next EOS or queued buffer check.
+	case c.state == StateIdle && target == StateLoaded:
+		c.state = StateLoaded
+	default:
+		return fmt.Errorf("%w: %v -> %v", ErrUnsupported, c.state, target)
+	}
+	return nil
+}
+
+// EmptyThisBuffer hands a filled input buffer to the component.
+func (c *Component) EmptyThisBuffer(p *sim.Proc, h *BufferHeader) error {
+	if c.state != StateExecuting {
+		return ErrWrongState
+	}
+	if _, ok := c.inBuffers[h.Region]; !ok {
+		return ErrNotOwner
+	}
+	c.inQ.Put(p, h)
+	return nil
+}
+
+// FillThisBuffer hands an empty output buffer to the component.
+func (c *Component) FillThisBuffer(p *sim.Proc, h *BufferHeader) error {
+	if c.state != StateExecuting {
+		return ErrWrongState
+	}
+	if _, ok := c.outBuffers[h.Region]; !ok {
+		return ErrNotOwner
+	}
+	c.outQ.Put(p, h)
+	return nil
+}
+
+// loop pairs input and output buffers and drives the codec device: read
+// the bitstream region, decode, write the frame region, then return both
+// buffers through the callbacks.
+func (c *Component) loop(p *sim.Proc) {
+	for c.state == StateExecuting {
+		in := c.inQ.Get(p)
+		if c.state != StateExecuting {
+			return
+		}
+		if in.EOS {
+			if c.cb.EmptyBufferDone != nil {
+				c.cb.EmptyBufferDone(p, in)
+			}
+			c.stopped.Signal()
+			return
+		}
+		out := c.outQ.Get(p)
+		rd := c.codec.Submit(p, device.Op{
+			Kind: device.OpRead, Region: in.Region, Bytes: in.FilledLen,
+			Exec: 100 * time.Microsecond, After: in.Ticket, Commands: 4,
+		})
+		wt := c.codec.Submit(p, device.Op{
+			Kind: device.OpWrite, Region: out.Region, Bytes: out.AllocLen,
+			Exec: c.decodeCost(in.FilledLen), After: rd, Commands: 8,
+		})
+		out.FilledLen = out.AllocLen
+		out.PTS = in.PTS
+		out.Ticket = wt
+		// Input returns as soon as the device has consumed it; output
+		// returns at decode completion (MediaCodec availability).
+		rd.Ready.Wait(p)
+		if c.cb.EmptyBufferDone != nil {
+			c.cb.EmptyBufferDone(p, in)
+		}
+		wt.Ready.Wait(p)
+		c.decoded++
+		if c.cb.FillBufferDone != nil {
+			c.cb.FillBufferDone(p, out)
+		}
+	}
+}
+
+// WaitEOS blocks until the component has consumed an EOS input buffer.
+func (c *Component) WaitEOS(p *sim.Proc) { c.stopped.Wait(p) }

@@ -1,0 +1,199 @@
+package omx
+
+import (
+	"testing"
+	"time"
+
+	"repro/internal/emulator"
+	"repro/internal/hostsim"
+	"repro/internal/sim"
+	"repro/internal/svm"
+)
+
+const ms = time.Millisecond
+
+type rig struct {
+	env *sim.Env
+	e   *emulator.Emulator
+	c   *Component
+}
+
+func newRig(t *testing.T) *rig {
+	t.Helper()
+	env := sim.NewEnv(9)
+	t.Cleanup(env.Close)
+	mach := hostsim.HighEndDesktop(env)
+	e := emulator.New(env, mach, emulator.VSoC())
+	c := NewComponent(env, "video-decoder", e.Codec,
+		func(n hostsim.Bytes) time.Duration { return 3 * ms }, Callbacks{})
+	return &rig{env: env, e: e, c: c}
+}
+
+func (rg *rig) header(t *testing.T, size hostsim.Bytes) *BufferHeader {
+	t.Helper()
+	r, err := rg.e.Manager.Alloc(size)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return &BufferHeader{Region: r.ID, AllocLen: size}
+}
+
+func TestStateMachineHappyPath(t *testing.T) {
+	rg := newRig(t)
+	rg.env.Spawn("client", func(p *sim.Proc) {
+		c := rg.c
+		if c.GetState() != StateLoaded {
+			t.Error("should start Loaded")
+		}
+		if err := c.SendCommand(p, StateIdle); err != ErrNoBuffers {
+			t.Errorf("Idle without buffers = %v, want ErrNoBuffers", err)
+		}
+		_ = c.UseInputBuffer(rg.header(t, 640*hostsim.KiB))
+		_ = c.UseOutputBuffer(rg.header(t, 16*hostsim.MiB))
+		if err := c.SendCommand(p, StateIdle); err != nil {
+			t.Errorf("to Idle: %v", err)
+		}
+		if err := c.SendCommand(p, StateExecuting); err != nil {
+			t.Errorf("to Executing: %v", err)
+		}
+		if err := c.SendCommand(p, StateLoaded); err == nil {
+			t.Error("Executing -> Loaded must be rejected")
+		}
+	})
+	rg.env.RunUntil(time.Second)
+}
+
+func TestBuffersRejectedInWrongState(t *testing.T) {
+	rg := newRig(t)
+	rg.env.Spawn("client", func(p *sim.Proc) {
+		h := rg.header(t, hostsim.MiB)
+		if err := rg.c.EmptyThisBuffer(p, h); err != ErrWrongState {
+			t.Errorf("EmptyThisBuffer in Loaded = %v, want ErrWrongState", err)
+		}
+	})
+	rg.env.RunUntil(time.Second)
+}
+
+func TestUnregisteredBufferRejected(t *testing.T) {
+	rg := newRig(t)
+	rg.env.Spawn("client", func(p *sim.Proc) {
+		c := rg.c
+		_ = c.UseInputBuffer(rg.header(t, hostsim.MiB))
+		_ = c.UseOutputBuffer(rg.header(t, hostsim.MiB))
+		_ = c.SendCommand(p, StateIdle)
+		_ = c.SendCommand(p, StateExecuting)
+		if err := c.EmptyThisBuffer(p, rg.header(t, hostsim.MiB)); err != ErrNotOwner {
+			t.Errorf("foreign buffer = %v, want ErrNotOwner", err)
+		}
+	})
+	rg.env.RunUntil(time.Second)
+}
+
+func TestDecodeRoundTripWithCallbacks(t *testing.T) {
+	rg := newRig(t)
+	// Headers are reused across frames (single-buffer ports), so the
+	// callbacks record values, not pointers.
+	var emptied int
+	var filledPTS []time.Duration
+	var firstTicketOK bool
+	rg.c.cb = Callbacks{
+		EmptyBufferDone: func(p *sim.Proc, h *BufferHeader) { emptied++ },
+		FillBufferDone: func(p *sim.Proc, h *BufferHeader) {
+			filledPTS = append(filledPTS, h.PTS)
+			if len(filledPTS) == 1 {
+				firstTicketOK = h.Ticket != nil
+			}
+		},
+	}
+	rg.env.Spawn("client", func(p *sim.Proc) {
+		c := rg.c
+		in := rg.header(t, 640*hostsim.KiB)
+		out := rg.header(t, 16*hostsim.MiB)
+		_ = c.UseInputBuffer(in)
+		_ = c.UseOutputBuffer(out)
+		_ = c.SendCommand(p, StateIdle)
+		_ = c.SendCommand(p, StateExecuting)
+		for seq := 0; seq < 5; seq++ {
+			in.FilledLen = 600 * hostsim.KiB
+			in.PTS = time.Duration(seq) * 16667 * time.Microsecond
+			if err := c.FillThisBuffer(p, out); err != nil {
+				t.Errorf("fill: %v", err)
+			}
+			if err := c.EmptyThisBuffer(p, in); err != nil {
+				t.Errorf("empty: %v", err)
+			}
+			p.Sleep(20 * ms)
+		}
+	})
+	rg.env.RunUntil(2 * time.Second)
+	if emptied != 5 || len(filledPTS) != 5 {
+		t.Fatalf("callbacks: emptied %d filled %d, want 5/5", emptied, len(filledPTS))
+	}
+	if rg.c.Decoded() != 5 {
+		t.Fatalf("Decoded = %d, want 5", rg.c.Decoded())
+	}
+	// PTS must propagate from input to output (§5.4's renderer contract).
+	if filledPTS[2] != 2*16667*time.Microsecond {
+		t.Fatalf("output PTS = %v, want propagated from input", filledPTS[2])
+	}
+	if !firstTicketOK {
+		t.Fatal("output must carry the decode ticket for downstream ordering")
+	}
+}
+
+func TestEOSStopsComponent(t *testing.T) {
+	rg := newRig(t)
+	rg.env.Spawn("client", func(p *sim.Proc) {
+		c := rg.c
+		in := rg.header(t, hostsim.MiB)
+		out := rg.header(t, hostsim.MiB)
+		_ = c.UseInputBuffer(in)
+		_ = c.UseOutputBuffer(out)
+		_ = c.SendCommand(p, StateIdle)
+		_ = c.SendCommand(p, StateExecuting)
+		in.EOS = true
+		_ = c.EmptyThisBuffer(p, in)
+		c.WaitEOS(p)
+	})
+	rg.env.RunUntil(time.Second)
+	if !rg.c.stopped.Fired() {
+		t.Fatal("EOS should stop the component loop")
+	}
+}
+
+func TestDecodedFrameCoherentForGPU(t *testing.T) {
+	// The component writes through the SVM framework: after FillBufferDone
+	// the GPU can read the frame via the ticket without seeing stale data.
+	rg := newRig(t)
+	var out *BufferHeader
+	rg.c.cb = Callbacks{FillBufferDone: func(p *sim.Proc, h *BufferHeader) { out = h }}
+	rg.env.Spawn("client", func(p *sim.Proc) {
+		c := rg.c
+		in := rg.header(t, 640*hostsim.KiB)
+		o := rg.header(t, 16*hostsim.MiB)
+		_ = c.UseInputBuffer(in)
+		_ = c.UseOutputBuffer(o)
+		_ = c.SendCommand(p, StateIdle)
+		_ = c.SendCommand(p, StateExecuting)
+		in.FilledLen = 600 * hostsim.KiB
+		_ = c.FillThisBuffer(p, o)
+		_ = c.EmptyThisBuffer(p, in)
+		p.Sleep(50 * ms)
+		if out == nil {
+			t.Error("no FillBufferDone")
+			return
+		}
+		a, err := rg.e.Manager.BeginAccess(p, out.Region,
+			rg.e.GPU.Accessor(), svm.UsageRead, 0)
+		if err != nil {
+			t.Errorf("gpu read: %v", err)
+			return
+		}
+		reg, _ := rg.e.Manager.Region(out.Region)
+		if !reg.HasCurrentCopy(rg.e.GPU.Domain()) {
+			t.Error("GPU read stale frame")
+		}
+		_, _ = a.End(p)
+	})
+	rg.env.RunUntil(2 * time.Second)
+}

@@ -1,0 +1,276 @@
+// Package ril models the Radio Interface Layer of vSoC's virtual cellular
+// modem (§4): the control-plane request/response protocol Android's RIL and
+// OpenHarmony's RIL adapter speak to the modem, over the same paravirtual
+// transport as every other vSoC device.
+//
+// The modem is the counterexample to the data-pipeline devices: it is
+// control-dominated and low-throughput, which is why §6 recommends leaving
+// such devices on conventional I/O virtualization — there is nothing for the
+// prefetch engine to hide. The package models solicited commands with
+// realistic radio latencies, unsolicited indications (signal strength,
+// registration changes), and the modem state machine that orders them.
+package ril
+
+import (
+	"errors"
+	"fmt"
+	"time"
+
+	"repro/internal/sim"
+	"repro/internal/virtio"
+)
+
+// RequestKind enumerates the solicited RIL commands modeled.
+type RequestKind int
+
+const (
+	// ReqRadioPower turns the radio on or off (payload: bool).
+	ReqRadioPower RequestKind = iota
+	// ReqRegister attaches to the network (requires radio on).
+	ReqRegister
+	// ReqSetupDataCall brings up the data bearer (requires registration).
+	ReqSetupDataCall
+	// ReqTeardownDataCall drops the data bearer.
+	ReqTeardownDataCall
+	// ReqSignalStrength polls the current signal.
+	ReqSignalStrength
+	// ReqSendSMS submits a short message.
+	ReqSendSMS
+)
+
+var requestNames = map[RequestKind]string{
+	ReqRadioPower:       "RADIO_POWER",
+	ReqRegister:         "NETWORK_REGISTER",
+	ReqSetupDataCall:    "SETUP_DATA_CALL",
+	ReqTeardownDataCall: "DEACTIVATE_DATA_CALL",
+	ReqSignalStrength:   "SIGNAL_STRENGTH",
+	ReqSendSMS:          "SEND_SMS",
+}
+
+func (k RequestKind) String() string { return requestNames[k] }
+
+// State is the modem's connection state machine.
+type State int
+
+const (
+	StateOff State = iota
+	StateOn
+	StateRegistered
+	StateDataConnected
+)
+
+var stateNames = map[State]string{
+	StateOff: "off", StateOn: "on", StateRegistered: "registered",
+	StateDataConnected: "data-connected",
+}
+
+func (s State) String() string { return stateNames[s] }
+
+// Errors returned in responses.
+var (
+	ErrRadioOff      = errors.New("ril: radio is off")
+	ErrNotRegistered = errors.New("ril: not registered")
+	ErrInvalidState  = errors.New("ril: invalid state for request")
+)
+
+// Response is a solicited command's result.
+type Response struct {
+	Kind RequestKind
+	Err  error
+	// SignalDBm is filled for ReqSignalStrength.
+	SignalDBm int
+	// State is the modem state after the command.
+	State State
+}
+
+// Indication is an unsolicited notification (RIL_UNSOL_*).
+type Indication struct {
+	At        time.Duration
+	SignalDBm int
+	State     State
+}
+
+type request struct {
+	kind    RequestKind
+	payload bool // on/off for ReqRadioPower
+	done    *sim.Event
+	resp    Response
+}
+
+// Config sets the modem's radio timing.
+type Config struct {
+	Transport virtio.Config
+	// CommandLatency is the modem firmware's per-command processing time.
+	CommandLatency time.Duration
+	// AttachLatency is the network-registration time.
+	AttachLatency time.Duration
+	// DataSetupLatency is the bearer establishment time.
+	DataSetupLatency time.Duration
+	// SignalPeriod is the unsolicited signal-report interval (0 disables).
+	SignalPeriod time.Duration
+}
+
+// DefaultConfig mirrors LTE-class control-plane latencies.
+func DefaultConfig() Config {
+	return Config{
+		Transport:        virtio.DefaultConfig(),
+		CommandLatency:   2 * time.Millisecond,
+		AttachLatency:    250 * time.Millisecond,
+		DataSetupLatency: 80 * time.Millisecond,
+		SignalPeriod:     500 * time.Millisecond,
+	}
+}
+
+// Modem is the host-side virtual modem plus its guest-side client API.
+type Modem struct {
+	env  *sim.Env
+	cfg  Config
+	ring *virtio.Ring
+	irq  *virtio.IRQLine
+
+	state     State
+	signalDBm int
+	served    int
+}
+
+// New starts a virtual modem. The radio begins powered off with a plausible
+// signal level.
+func New(env *sim.Env, cfg Config) *Modem {
+	m := &Modem{
+		env:       env,
+		cfg:       cfg,
+		ring:      virtio.NewRing(env, "modem-vq", cfg.Transport),
+		irq:       virtio.NewIRQLine(env, "modem-irq", cfg.Transport),
+		signalDBm: -85,
+	}
+	env.Spawn("modem-host", m.hostLoop)
+	if cfg.SignalPeriod > 0 {
+		env.Spawn("modem-signal", m.signalLoop)
+	}
+	return m
+}
+
+// State returns the modem's current state.
+func (m *Modem) State() State { return m.state }
+
+// Served returns the number of solicited commands completed.
+func (m *Modem) Served() int { return m.served }
+
+func (m *Modem) hostLoop(p *sim.Proc) {
+	for {
+		cmd := m.ring.Recv(p)
+		req := cmd.Payload.(*request)
+		p.Sleep(time.Duration(float64(m.cfg.CommandLatency)))
+		req.resp = m.execute(p, req)
+		m.served++
+		req.done.Signal()
+	}
+}
+
+func (m *Modem) execute(p *sim.Proc, req *request) Response {
+	resp := Response{Kind: req.kind}
+	switch req.kind {
+	case ReqRadioPower:
+		if req.payload {
+			if m.state == StateOff {
+				m.state = StateOn
+			}
+		} else {
+			m.state = StateOff
+		}
+	case ReqRegister:
+		switch m.state {
+		case StateOff:
+			resp.Err = ErrRadioOff
+		case StateOn:
+			p.Sleep(m.cfg.AttachLatency)
+			m.state = StateRegistered
+			m.irq.Raise(Indication{At: p.Now(), SignalDBm: m.signalDBm, State: m.state})
+		}
+	case ReqSetupDataCall:
+		switch m.state {
+		case StateOff:
+			resp.Err = ErrRadioOff
+		case StateOn:
+			resp.Err = ErrNotRegistered
+		case StateRegistered:
+			p.Sleep(m.cfg.DataSetupLatency)
+			m.state = StateDataConnected
+		}
+	case ReqTeardownDataCall:
+		if m.state != StateDataConnected {
+			resp.Err = ErrInvalidState
+		} else {
+			m.state = StateRegistered
+		}
+	case ReqSignalStrength:
+		if m.state == StateOff {
+			resp.Err = ErrRadioOff
+		}
+		resp.SignalDBm = m.signalDBm
+	case ReqSendSMS:
+		if m.state < StateRegistered {
+			resp.Err = ErrNotRegistered
+		} else {
+			p.Sleep(40 * time.Millisecond) // SMS-over-IMS round trip
+		}
+	default:
+		resp.Err = fmt.Errorf("ril: unknown request %d", req.kind)
+	}
+	resp.State = m.state
+	return resp
+}
+
+// signalLoop emits unsolicited signal reports while the radio is on, with a
+// deterministic fading pattern.
+func (m *Modem) signalLoop(p *sim.Proc) {
+	fade := []int{-85, -87, -90, -86, -83, -88}
+	for i := 0; ; i++ {
+		p.Sleep(m.cfg.SignalPeriod)
+		if m.state == StateOff {
+			continue
+		}
+		m.signalDBm = fade[i%len(fade)]
+		m.irq.Raise(Indication{At: p.Now(), SignalDBm: m.signalDBm, State: m.state})
+	}
+}
+
+// Do issues a solicited command from guest context and blocks until the
+// modem responds — RIL is a synchronous request/response protocol at the
+// libril boundary.
+func (m *Modem) Do(p *sim.Proc, kind RequestKind) Response {
+	return m.doReq(p, kind, false)
+}
+
+// SetRadioPower turns the radio on or off.
+func (m *Modem) SetRadioPower(p *sim.Proc, on bool) Response {
+	return m.doReq(p, ReqRadioPower, on)
+}
+
+func (m *Modem) doReq(p *sim.Proc, kind RequestKind, payload bool) Response {
+	req := &request{kind: kind, payload: payload, done: sim.NewEvent(m.env)}
+	cmd := m.ring.NewCommand(kind.String(), req)
+	m.ring.Dispatch(p, cmd)
+	req.done.Wait(p)
+	return req.resp
+}
+
+// WaitIndication blocks until the next unsolicited indication arrives,
+// paying the interrupt cost like any guest IRQ handler.
+func (m *Modem) WaitIndication(p *sim.Proc) Indication {
+	return m.irq.Wait(p).(Indication)
+}
+
+// Connect runs the full bring-up sequence: power on, register, data call.
+func (m *Modem) Connect(p *sim.Proc) error {
+	if r := m.SetRadioPower(p, true); r.Err != nil {
+		return r.Err
+	}
+	if r := m.Do(p, ReqRegister); r.Err != nil {
+		return r.Err
+	}
+	if r := m.Do(p, ReqSetupDataCall); r.Err != nil {
+		return r.Err
+	}
+	return nil
+}

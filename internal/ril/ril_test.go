@@ -1,0 +1,148 @@
+package ril
+
+import (
+	"testing"
+	"time"
+
+	"repro/internal/sim"
+)
+
+const ms = time.Millisecond
+
+func newModem(t *testing.T) (*sim.Env, *Modem) {
+	t.Helper()
+	env := sim.NewEnv(1)
+	t.Cleanup(env.Close)
+	return env, New(env, DefaultConfig())
+}
+
+func TestBringUpSequence(t *testing.T) {
+	env, m := newModem(t)
+	var connectedAt time.Duration
+	env.Spawn("rild", func(p *sim.Proc) {
+		if err := m.Connect(p); err != nil {
+			t.Errorf("connect: %v", err)
+			return
+		}
+		connectedAt = p.Now()
+	})
+	env.RunUntil(2 * time.Second)
+	if m.State() != StateDataConnected {
+		t.Fatalf("state = %v, want data-connected", m.State())
+	}
+	// Attach (250ms) + data setup (80ms) dominate.
+	if connectedAt < 330*ms || connectedAt > 500*ms {
+		t.Fatalf("connected at %v, want ~330-400ms (LTE-class control plane)", connectedAt)
+	}
+}
+
+func TestCommandsRejectedInWrongState(t *testing.T) {
+	env, m := newModem(t)
+	env.Spawn("rild", func(p *sim.Proc) {
+		if r := m.Do(p, ReqRegister); r.Err != ErrRadioOff {
+			t.Errorf("register with radio off = %v, want ErrRadioOff", r.Err)
+		}
+		if r := m.Do(p, ReqSetupDataCall); r.Err != ErrRadioOff {
+			t.Errorf("data call with radio off = %v, want ErrRadioOff", r.Err)
+		}
+		m.SetRadioPower(p, true)
+		if r := m.Do(p, ReqSetupDataCall); r.Err != ErrNotRegistered {
+			t.Errorf("data call unregistered = %v, want ErrNotRegistered", r.Err)
+		}
+		if r := m.Do(p, ReqTeardownDataCall); r.Err != ErrInvalidState {
+			t.Errorf("teardown without call = %v, want ErrInvalidState", r.Err)
+		}
+		if r := m.Do(p, ReqSendSMS); r.Err != ErrNotRegistered {
+			t.Errorf("sms unregistered = %v, want ErrNotRegistered", r.Err)
+		}
+	})
+	env.RunUntil(2 * time.Second)
+}
+
+func TestRadioOffDropsEverything(t *testing.T) {
+	env, m := newModem(t)
+	env.Spawn("rild", func(p *sim.Proc) {
+		if err := m.Connect(p); err != nil {
+			t.Errorf("connect: %v", err)
+		}
+		m.SetRadioPower(p, false)
+	})
+	env.RunUntil(2 * time.Second)
+	if m.State() != StateOff {
+		t.Fatalf("state = %v, want off after airplane mode", m.State())
+	}
+}
+
+func TestSignalIndicationsWhileOn(t *testing.T) {
+	env, m := newModem(t)
+	got := 0
+	env.Spawn("rild", func(p *sim.Proc) {
+		m.SetRadioPower(p, true)
+		for i := 0; i < 4; i++ {
+			ind := m.WaitIndication(p)
+			if ind.SignalDBm > -50 || ind.SignalDBm < -120 {
+				t.Errorf("implausible signal %d dBm", ind.SignalDBm)
+			}
+			got++
+		}
+	})
+	env.RunUntil(5 * time.Second)
+	if got != 4 {
+		t.Fatalf("received %d indications, want 4", got)
+	}
+}
+
+func TestNoIndicationsWhileOff(t *testing.T) {
+	env, m := newModem(t)
+	env.RunUntil(3 * time.Second)
+	// Radio never turned on: signal loop must not raise indications.
+	if m.Served() != 0 {
+		t.Fatalf("served = %d, want 0", m.Served())
+	}
+}
+
+func TestSignalPoll(t *testing.T) {
+	env, m := newModem(t)
+	env.Spawn("rild", func(p *sim.Proc) {
+		m.SetRadioPower(p, true)
+		r := m.Do(p, ReqSignalStrength)
+		if r.Err != nil || r.SignalDBm == 0 {
+			t.Errorf("signal poll = %+v", r)
+		}
+	})
+	env.RunUntil(time.Second)
+}
+
+func TestSMSRoundTrip(t *testing.T) {
+	env, m := newModem(t)
+	var sentAt time.Duration
+	env.Spawn("rild", func(p *sim.Proc) {
+		m.SetRadioPower(p, true)
+		m.Do(p, ReqRegister)
+		start := p.Now()
+		if r := m.Do(p, ReqSendSMS); r.Err != nil {
+			t.Errorf("sms: %v", r.Err)
+		}
+		sentAt = p.Now() - start
+	})
+	env.RunUntil(2 * time.Second)
+	if sentAt < 40*ms {
+		t.Fatalf("sms took %v, want >= 40ms network round trip", sentAt)
+	}
+}
+
+func TestCommandsServeFIFO(t *testing.T) {
+	env, m := newModem(t)
+	env.Spawn("rild", func(p *sim.Proc) {
+		m.SetRadioPower(p, true)
+		for i := 0; i < 10; i++ {
+			if r := m.Do(p, ReqSignalStrength); r.Err != nil {
+				t.Errorf("poll %d: %v", i, r.Err)
+			}
+		}
+	})
+	env.RunUntil(2 * time.Second)
+	if m.Served() != 11 {
+		t.Fatalf("served = %d, want 11", m.Served())
+	}
+}

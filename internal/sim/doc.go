@@ -1,0 +1,16 @@
+// Package sim implements a deterministic discrete-event simulation kernel.
+//
+// The kernel drives a virtual clock and a set of processes. A process is an
+// ordinary Go function executing on its own goroutine, but the kernel
+// guarantees that exactly one process runs at any instant: control is handed
+// between the scheduler and processes with strict rendezvous, and all wakeups
+// flow through a single event queue ordered by (time, sequence). Runs are
+// therefore bit-reproducible for a given seed regardless of GOMAXPROCS.
+//
+// Processes block with the primitives in this package: Sleep, Event (one-shot
+// broadcast), Queue (FIFO channel), and Semaphore (counted resource). These
+// are the building blocks for the hardware, transport, and guest-OS models in
+// the rest of the repository.
+//
+// Time is modeled as time.Duration elapsed since the start of the simulation.
+package sim

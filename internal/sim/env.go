@@ -1,0 +1,195 @@
+package sim
+
+import (
+	"container/heap"
+	"fmt"
+	"math/rand"
+	"time"
+)
+
+// Time is a point on the simulation's virtual clock, expressed as the
+// duration elapsed since the simulation started.
+type Time = time.Duration
+
+// event is a scheduled occurrence: either the resumption of a parked process
+// or a plain callback executed in scheduler context.
+type event struct {
+	at   Time
+	seq  uint64 // tie-breaker: FIFO among events at the same instant
+	proc *Proc  // non-nil: resume this process
+	fn   func() // non-nil: run this callback in scheduler context
+	idx  int    // heap index
+}
+
+type eventHeap []*event
+
+func (h eventHeap) Len() int { return len(h) }
+
+func (h eventHeap) Less(i, j int) bool {
+	if h[i].at != h[j].at {
+		return h[i].at < h[j].at
+	}
+	return h[i].seq < h[j].seq
+}
+
+func (h eventHeap) Swap(i, j int) {
+	h[i], h[j] = h[j], h[i]
+	h[i].idx = i
+	h[j].idx = j
+}
+
+func (h *eventHeap) Push(x any) {
+	e := x.(*event)
+	e.idx = len(*h)
+	*h = append(*h, e)
+}
+
+func (h *eventHeap) Pop() any {
+	old := *h
+	n := len(old)
+	e := old[n-1]
+	old[n-1] = nil
+	*h = old[:n-1]
+	return e
+}
+
+// Env is a simulation environment: a virtual clock, an event queue, and the
+// set of live processes. An Env is not safe for concurrent use; all calls
+// must come either from process context or from the single goroutine driving
+// Run/RunUntil/Step.
+type Env struct {
+	now     Time
+	events  eventHeap
+	seq     uint64
+	procs   map[*Proc]struct{}
+	rng     *rand.Rand
+	sched   chan struct{} // process -> scheduler rendezvous
+	current *Proc         // process currently executing, if any
+	closed  bool
+}
+
+// NewEnv returns a fresh environment whose clock reads zero. The seed fixes
+// the environment's random stream; equal seeds give bit-identical runs.
+func NewEnv(seed int64) *Env {
+	return &Env{
+		procs: make(map[*Proc]struct{}),
+		rng:   rand.New(rand.NewSource(seed)),
+		sched: make(chan struct{}),
+	}
+}
+
+// Now returns the current virtual time.
+func (e *Env) Now() Time { return e.now }
+
+// Rand returns the environment's deterministic random stream.
+func (e *Env) Rand() *rand.Rand { return e.rng }
+
+// schedule inserts an event at absolute time at (clamped to now).
+func (e *Env) schedule(at Time, p *Proc, fn func()) *event {
+	if at < e.now {
+		at = e.now
+	}
+	ev := &event{at: at, seq: e.seq, proc: p, fn: fn}
+	e.seq++
+	heap.Push(&e.events, ev)
+	return ev
+}
+
+// After schedules fn to run in scheduler context d from now. It may be called
+// from process context or from outside the simulation.
+func (e *Env) After(d Time, fn func()) {
+	if fn == nil {
+		panic("sim: After with nil callback")
+	}
+	e.schedule(e.now+d, nil, fn)
+}
+
+// Step executes the earliest pending event, advancing the clock to its
+// timestamp. It reports whether an event was executed.
+func (e *Env) Step() bool {
+	if e.closed || len(e.events) == 0 {
+		return false
+	}
+	ev := heap.Pop(&e.events).(*event)
+	e.now = ev.at
+	switch {
+	case ev.proc != nil:
+		e.resume(ev.proc, resumeOK)
+	case ev.fn != nil:
+		ev.fn()
+	}
+	return true
+}
+
+// Run executes events until none remain. Simulations with immortal daemon
+// processes (clocks, pollers) never drain; use RunUntil for those.
+func (e *Env) Run() {
+	for e.Step() {
+	}
+}
+
+// RunUntil executes every event scheduled at or before t, then advances the
+// clock to exactly t.
+func (e *Env) RunUntil(t Time) {
+	for len(e.events) > 0 && e.events[0].at <= t && !e.closed {
+		e.Step()
+	}
+	if e.now < t {
+		e.now = t
+	}
+}
+
+// RunFor advances the simulation by d from the current instant.
+func (e *Env) RunFor(d Time) { e.RunUntil(e.now + d) }
+
+// Idle reports whether no events remain.
+func (e *Env) Idle() bool { return len(e.events) == 0 }
+
+// PendingEvents returns the number of scheduled events (for tests).
+func (e *Env) PendingEvents() int { return len(e.events) }
+
+// Close aborts every live process so their goroutines exit, and discards all
+// pending events. The environment is unusable afterwards. Close is the
+// cleanup counterpart of NewEnv and is safe to call multiple times.
+func (e *Env) Close() {
+	if e.closed {
+		return
+	}
+	if e.current != nil {
+		panic("sim: Close called from process context")
+	}
+	e.closed = true
+	for p := range e.procs {
+		if p.state == procDone {
+			continue
+		}
+		e.resume(p, resumeAbort)
+	}
+	e.procs = map[*Proc]struct{}{}
+	e.events = nil
+}
+
+// resume hands control to p and blocks until p parks again or terminates.
+func (e *Env) resume(p *Proc, k resumeKind) {
+	if p.state == procDone {
+		return // stale timer for a finished process
+	}
+	prev := e.current
+	e.current = p
+	p.resume <- k
+	<-e.sched
+	e.current = prev
+}
+
+// currentProc returns the process executing right now, panicking when called
+// from scheduler context where no process is live.
+func (e *Env) currentProc() *Proc {
+	if e.current == nil {
+		panic("sim: blocking primitive used outside process context")
+	}
+	return e.current
+}
+
+func (e *Env) String() string {
+	return fmt.Sprintf("sim.Env{now: %v, events: %d, procs: %d}", e.now, len(e.events), len(e.procs))
+}

@@ -1,0 +1,72 @@
+package sim
+
+// waiter records one parked process awaiting a wakeup. The woke flag ensures
+// a process receives at most one resume per registration even when several
+// wake sources race at the same instant (e.g. a signal and a timeout).
+type waiter struct {
+	p        *Proc
+	woke     bool
+	timedOut bool
+}
+
+// Event is a one-shot broadcast: processes wait until some party signals,
+// after which all current and future waits return immediately. Value may be
+// set by the signaler before Signal to pass a result to waiters.
+type Event struct {
+	env     *Env
+	fired   bool
+	Value   any
+	waiters []*waiter
+}
+
+// NewEvent returns an unfired event bound to env.
+func NewEvent(env *Env) *Event { return &Event{env: env} }
+
+// Fired reports whether the event has been signaled.
+func (ev *Event) Fired() bool { return ev.fired }
+
+// Signal fires the event, waking every waiter at the current instant.
+// Signaling an already-fired event is a no-op. Signal may be called from
+// process or scheduler context.
+func (ev *Event) Signal() {
+	if ev.fired {
+		return
+	}
+	ev.fired = true
+	for _, w := range ev.waiters {
+		if !w.woke {
+			w.woke = true
+			ev.env.schedule(ev.env.now, w.p, nil)
+		}
+	}
+	ev.waiters = nil
+}
+
+// Wait blocks p until the event fires. Returns immediately if already fired.
+func (ev *Event) Wait(p *Proc) {
+	if ev.fired {
+		return
+	}
+	w := &waiter{p: p}
+	ev.waiters = append(ev.waiters, w)
+	p.park()
+}
+
+// WaitTimeout blocks p until the event fires or d elapses. It reports true
+// when the event fired, false on timeout.
+func (ev *Event) WaitTimeout(p *Proc, d Time) bool {
+	if ev.fired {
+		return true
+	}
+	w := &waiter{p: p}
+	ev.waiters = append(ev.waiters, w)
+	ev.env.After(d, func() {
+		if !w.woke {
+			w.woke = true
+			w.timedOut = true
+			ev.env.schedule(ev.env.now, w.p, nil)
+		}
+	})
+	p.park()
+	return !w.timedOut
+}

@@ -1,0 +1,98 @@
+package sim
+
+import "fmt"
+
+type resumeKind int
+
+const (
+	resumeOK resumeKind = iota
+	resumeAbort
+)
+
+type procState int
+
+const (
+	procReady procState = iota
+	procDone
+)
+
+// procKilled is the panic value used to unwind an aborted process.
+type procKilled struct{}
+
+// Proc is a simulation process: a sequential activity over virtual time.
+// All Proc methods must be called from the process's own function.
+type Proc struct {
+	env    *Env
+	name   string
+	resume chan resumeKind
+	state  procState
+}
+
+// Spawn starts fn as a new process at the current instant. The process
+// begins executing when the scheduler reaches its start event.
+func (e *Env) Spawn(name string, fn func(p *Proc)) *Proc {
+	return e.SpawnAt(e.now, name, fn)
+}
+
+// SpawnAt starts fn as a new process at absolute time at.
+func (e *Env) SpawnAt(at Time, name string, fn func(p *Proc)) *Proc {
+	if e.closed {
+		panic("sim: Spawn on closed Env")
+	}
+	p := &Proc{env: e, name: name, resume: make(chan resumeKind)}
+	e.procs[p] = struct{}{}
+	go p.run(fn)
+	e.schedule(at, p, nil)
+	return p
+}
+
+func (p *Proc) run(fn func(p *Proc)) {
+	defer func() {
+		p.state = procDone
+		r := recover()
+		if r == nil || r == any(procKilled{}) {
+			// Normal completion or abort: return control to the scheduler.
+			p.env.sched <- struct{}{}
+			return
+		}
+		panic(fmt.Sprintf("sim: process %q panicked: %v", p.name, r))
+	}()
+	if k := <-p.resume; k == resumeAbort {
+		panic(procKilled{})
+	}
+	fn(p)
+}
+
+// park yields control to the scheduler and blocks until the next resume.
+// Every blocking primitive funnels through park after registering a wakeup.
+func (p *Proc) park() {
+	p.env.sched <- struct{}{}
+	if k := <-p.resume; k == resumeAbort {
+		panic(procKilled{})
+	}
+}
+
+// Env returns the environment this process belongs to.
+func (p *Proc) Env() *Env { return p.env }
+
+// Name returns the process's diagnostic name.
+func (p *Proc) Name() string { return p.name }
+
+// Now returns the current virtual time.
+func (p *Proc) Now() Time { return p.env.now }
+
+// Sleep blocks the process for d of virtual time. Negative durations sleep
+// zero time but still yield, preserving FIFO fairness at the same instant.
+func (p *Proc) Sleep(d Time) {
+	if p.env.currentProc() != p {
+		panic("sim: Sleep called from a different process")
+	}
+	p.env.schedule(p.env.now+d, p, nil)
+	p.park()
+}
+
+// Yield cedes the processor until all other events at the current instant
+// have run.
+func (p *Proc) Yield() { p.Sleep(0) }
+
+func (p *Proc) String() string { return "proc:" + p.name }

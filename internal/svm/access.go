@@ -1,0 +1,180 @@
+package svm
+
+import (
+	"time"
+
+	"repro/internal/hostsim"
+	"repro/internal/hypergraph"
+	"repro/internal/prefetch"
+	"repro/internal/sim"
+)
+
+// Access is one open access to a region, created by BeginAccess and closed
+// by End — the begin_access/end_access pair of the Fig. 3 interface.
+type Access struct {
+	m       *Manager
+	r       *Region
+	acc     Accessor
+	usage   Usage
+	bytes   hostsim.Bytes
+	started time.Duration
+	ended   bool
+}
+
+// EndInfo is returned by End. Compensation is how long the guest driver
+// should block before returning control to the system, so the remaining
+// asynchronous prefetch stays hidden (adaptive synchronism, §3.3). The
+// device layer applies it in driver context.
+type EndInfo struct {
+	Compensation time.Duration
+}
+
+// BeginAccess opens an access to region id by acc. bytes is the accessed
+// (dirty) range; 0 means the whole region. For read usages the call blocks
+// until acc's domain holds the current data — the blocking time is the
+// access latency the paper measures.
+func (m *Manager) BeginAccess(p *sim.Proc, id RegionID, acc Accessor, usage Usage, bytes hostsim.Bytes) (*Access, error) {
+	r, err := m.Region(id)
+	if err != nil {
+		return nil, err
+	}
+	if bytes == 0 {
+		bytes = r.Size
+	}
+	if bytes < 0 || bytes > r.Size {
+		return nil, ErrBadSize
+	}
+	start := p.Now()
+	m.materialize(r)
+	r.noteDomain(acc.Domain)
+	if m.cfg.AccessBaseCost > 0 {
+		p.Sleep(m.cfg.AccessBaseCost)
+	}
+
+	if usage.reads() && r.version > 0 {
+		m.trackReadFlow(r, acc, bytes, start)
+		m.proto.ensureReadable(p, r, acc, bytes)
+	}
+
+	m.stats.AccessLatency.AddDuration(p.Now() - start)
+	if acc.CPU {
+		m.stats.HALAccessLatency.AddDuration(p.Now() - start)
+	}
+	if m.observer != nil {
+		m.observer(start, acc, r.ID, bytes, usage, p.Now()-start)
+	}
+	m.stats.Accesses++
+	if usage.reads() {
+		m.stats.Reads++
+	}
+	if usage.writes() {
+		m.stats.Writes++
+	}
+	return &Access{m: m, r: r, acc: acc, usage: usage, bytes: bytes, started: start}, nil
+}
+
+// materialize lazily commits the region's backing on first access (§3.2).
+func (m *Manager) materialize(r *Region) {
+	if r.materialized {
+		return
+	}
+	r.materialized = true
+	m.stats.RegionSizes.Add(float64(r.Size) / float64(hostsim.MiB))
+}
+
+// trackReadFlow updates the twin hypergraphs for a cross-device read: it
+// folds the reader into the current generation's hyperedges, remaps the
+// region, observes the slack interval, and scores the device prediction.
+func (m *Manager) trackReadFlow(r *Region, acc Accessor, bytes hostsim.Bytes, readStart time.Duration) {
+	if !r.hasWriter || acc.same(r.lastWriter) {
+		return // reading own data: no cross-device flow
+	}
+	firstReader := len(r.genReaders) == 0
+
+	// Score the device prediction once per generation, on the first
+	// cross-device reader (§5.2's accuracy metric).
+	if m.engine != nil && firstReader && !r.predChecked {
+		r.predChecked = true
+		if r.predValid {
+			correct := false
+			for _, n := range r.predReaders {
+				if n == acc.Physical {
+					correct = true
+					break
+				}
+			}
+			m.stats.PredTotal++
+			if correct {
+				m.stats.PredCorrect++
+			}
+			m.engine.RecordOutcome(correct, readStart)
+		}
+	}
+
+	r.genReaders = append(r.genReaders, acc)
+	vEdge := m.twin.Virtual.Edge(
+		[]hypergraph.NodeID{r.lastWriter.Virtual}, r.readerVirtuals())
+	pEdge := m.twin.Physical.Edge(
+		[]hypergraph.NodeID{r.lastWriter.Physical}, r.readerPhysicals())
+	m.twin.Map(uint64(r.ID), hypergraph.Mapping{Virtual: vEdge, Physical: pEdge})
+	now := m.env.Now()
+	vEdge.Touch(now)
+	pEdge.Touch(now)
+	pEdge.Observe(prefetch.StatSizeBytes, float64(bytes))
+
+	if firstReader {
+		slack := readStart - r.lastWriteEnd
+		slackMS := float64(slack) / float64(time.Millisecond)
+		vEdge.Observe(prefetch.StatSlackMS, slackMS)
+		pEdge.Observe(prefetch.StatSlackMS, slackMS)
+		m.stats.SlackIntervals.Add(slackMS)
+		if r.predTimed {
+			errMS := float64(slack-r.predSlack) / float64(time.Millisecond)
+			if errMS < 0 {
+				errMS = -errMS
+			}
+			m.stats.SlackError.Add(errMS)
+		}
+	}
+}
+
+// End closes the access. For writes it commits a new version, invalidates
+// remote copies, and lets the protocol react (push, broadcast, or guest
+// sync); the returned compensation is applied by the guest driver.
+func (a *Access) End(p *sim.Proc) (EndInfo, error) {
+	if a.ended {
+		return EndInfo{}, ErrAccessEnded
+	}
+	a.ended = true
+	m, r := a.m, a.r
+	var info EndInfo
+	if a.usage.writes() && !r.freed {
+		// Unconsumed pushed copies of the previous version are waste.
+		for _, dom := range r.accessedDomains {
+			if r.delivered[dom] && r.copies[dom] == r.version {
+				m.stats.BytesWasted += a.bytes
+			}
+			delete(r.delivered, dom)
+		}
+		r.version++
+		r.owner = a.acc.Domain
+		r.copies = map[*hostsim.Domain]uint64{a.acc.Domain: r.version}
+		r.hasWriter = true
+		r.lastWriter = a.acc
+		r.genReaders = r.genReaders[:0]
+		r.predChecked = false
+		info.Compensation = m.proto.onWriteEnd(p, r, a.acc, a.bytes)
+		r.lastWriteEnd = p.Now()
+	}
+	m.stats.BytesAccessed += a.bytes
+	return info, nil
+}
+
+// Region returns the region this access touches.
+func (a *Access) Region() *Region { return a.r }
+
+// Usage returns the access direction.
+func (a *Access) Usage() Usage { return a.usage }
+
+// Bytes returns the accessed byte count.
+func (a *Access) Bytes() hostsim.Bytes { return a.bytes }

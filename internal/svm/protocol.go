@@ -1,0 +1,122 @@
+package svm
+
+import (
+	"time"
+
+	"repro/internal/hostsim"
+	"repro/internal/prefetch"
+	"repro/internal/sim"
+)
+
+// protocol is the coherence strategy behind a manager. ensureReadable runs
+// in the accessor's process and must leave acc.Domain holding the current
+// version; onWriteEnd runs in the writer's process when a write commits and
+// returns the guest-driver compensation time (nonzero only for the prefetch
+// protocol's adaptive synchronism, §3.3).
+type protocol interface {
+	name() string
+	ensureReadable(p *sim.Proc, r *Region, acc Accessor, bytes hostsim.Bytes)
+	onWriteEnd(p *sim.Proc, r *Region, acc Accessor, bytes hostsim.Bytes) time.Duration
+}
+
+// copyCoherence performs one coherence maintenance copy in p's context,
+// charging the fixed scheduling cost plus link transfer time, and feeds the
+// stats and bandwidth observations. sync selects the slow CPU-driven copy
+// path (demand fetches cannot use DMA, §5.4).
+func (m *Manager) copyCoherence(p *sim.Proc, from, to *hostsim.Domain, bytes hostsim.Bytes, direct, sync bool) time.Duration {
+	start := p.Now()
+	if m.cfg.CoherenceFixedCost > 0 {
+		p.Sleep(m.cfg.CoherenceFixedCost)
+	}
+	_, service := m.mach.CopyDetailed(p, from, to, bytes, sync)
+	elapsed := p.Now() - start
+	m.stats.CoherenceCost.AddDuration(elapsed)
+	m.stats.BytesCoherence += bytes
+	if direct {
+		m.stats.DirectCoherence++
+	} else {
+		m.stats.GuestCoherence++
+	}
+	// Only DMA copies feed the bandwidth-congestion signal — demand
+	// fetches are slow by mode, not by congestion — and only pure wire
+	// time counts, so that fixed scheduling cost and incidental queueing
+	// on small copies do not masquerade as congestion.
+	if m.engine != nil && service > 0 && !sync {
+		m.engine.ObserveBandwidth(from.Name+"->"+to.Name, float64(bytes)/service.Seconds(), p.Now())
+	}
+	return elapsed
+}
+
+// demandFetch synchronously brings acc.Domain current from the owner,
+// using the slow synchronous copy path.
+func (m *Manager) demandFetch(p *sim.Proc, r *Region, acc Accessor, bytes hostsim.Bytes, direct bool) {
+	m.stats.DemandFetches++
+	from := r.owner
+	if !direct {
+		from = m.mach.Guest
+	}
+	m.copyCoherence(p, from, acc.Domain, bytes, direct, true)
+	r.copies[acc.Domain] = r.version
+}
+
+// asyncPush starts an asynchronous copy of the current version toward dom,
+// shared by the prefetch and broadcast protocols. Completion installs the
+// copy only if the version is still current; otherwise the bytes are waste.
+func (m *Manager) asyncPush(r *Region, from, dom *hostsim.Domain, bytes hostsim.Bytes, recordTiming bool) {
+	if r.inflight[dom] != nil {
+		return // a push toward dom is already running
+	}
+	version := r.version
+	inf := &inflightFetch{done: sim.NewEvent(m.env), version: version, started: m.env.Now()}
+	r.inflight[dom] = inf
+	m.env.Spawn("svm-push", func(hp *sim.Proc) {
+		elapsed := m.copyCoherence(hp, from, dom, bytes, true, false)
+		if !r.freed && r.version == version {
+			r.copies[dom] = version
+			r.delivered[dom] = true
+			if recordTiming {
+				if mp, ok := m.twin.Lookup(uint64(r.ID)); ok && mp.Physical != nil {
+					mp.Physical.Observe(prefetch.StatPrefetchMS,
+						float64(elapsed)/float64(time.Millisecond))
+				}
+				if r.predTimed {
+					errMS := float64(elapsed-r.predPf) / float64(time.Millisecond)
+					if errMS < 0 {
+						errMS = -errMS
+					}
+					m.stats.PrefetchTimeError.Add(errMS)
+				}
+			}
+		} else {
+			m.stats.BytesWasted += bytes
+		}
+		if r.inflight[dom] == inf {
+			delete(r.inflight, dom)
+		}
+		inf.done.Signal()
+	})
+}
+
+// awaitOrDemand is the read path shared by protocols with asynchronous
+// pushes: consume an arrived copy, wait out an in-flight one, or fall back
+// to a demand fetch.
+func (m *Manager) awaitOrDemand(p *sim.Proc, r *Region, acc Accessor, bytes hostsim.Bytes) {
+	if r.HasCurrentCopy(acc.Domain) {
+		if r.delivered[acc.Domain] {
+			r.delivered[acc.Domain] = false
+			m.stats.PrefetchHits++
+		} else if acc.Domain == r.owner {
+			m.stats.SameDomainHits++
+		}
+		return
+	}
+	if inf := r.inflight[acc.Domain]; inf != nil && inf.version == r.version {
+		m.stats.PrefetchWaits++
+		inf.done.Wait(p)
+		if r.HasCurrentCopy(acc.Domain) {
+			r.delivered[acc.Domain] = false
+			return
+		}
+	}
+	m.demandFetch(p, r, acc, bytes, true)
+}

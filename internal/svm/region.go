@@ -1,0 +1,106 @@
+package svm
+
+import (
+	"time"
+
+	"repro/internal/hostsim"
+	"repro/internal/hypergraph"
+	"repro/internal/sim"
+)
+
+// inflightFetch tracks one asynchronous copy (prefetch or broadcast push)
+// toward a domain.
+type inflightFetch struct {
+	done    *sim.Event
+	version uint64
+	started time.Duration
+}
+
+// Region is one SVM region: a handle-addressed buffer whose latest contents
+// live in the owner domain, with possibly stale copies elsewhere.
+type Region struct {
+	ID        RegionID
+	Size      hostsim.Bytes
+	CreatedAt time.Duration
+
+	// version counts committed writes; owner is the domain holding the
+	// newest data. copies maps each domain to the version it holds.
+	version uint64
+	owner   *hostsim.Domain
+	copies  map[*hostsim.Domain]uint64
+
+	// inflight tracks asynchronous copies headed to each domain;
+	// delivered marks domains whose current-version copy arrived via
+	// prefetch/broadcast and has not yet been read (for waste accounting).
+	inflight  map[*hostsim.Domain]*inflightFetch
+	delivered map[*hostsim.Domain]bool
+
+	// materialized is set on first access (lazy allocation, §3.2).
+	materialized bool
+
+	// accessedDomains lists every domain that ever touched the region, in
+	// first-touch order (deterministic iteration for broadcast and waste
+	// accounting).
+	accessedDomains []*hostsim.Domain
+
+	// Flow tracking: the writer of the current generation and the readers
+	// observed since, used to build hyperedges.
+	hasWriter    bool
+	lastWriter   Accessor
+	lastWriteEnd time.Duration
+	genReaders   []Accessor
+
+	// Prediction bookkeeping for the current generation.
+	predValid   bool
+	predReaders []hypergraph.NodeID
+	predTimed   bool
+	predSlack   time.Duration
+	predPf      time.Duration
+	predChecked bool
+
+	freed bool
+}
+
+// noteDomain records a domain touching the region (first-touch order).
+func (r *Region) noteDomain(d *hostsim.Domain) {
+	for _, x := range r.accessedDomains {
+		if x == d {
+			return
+		}
+	}
+	r.accessedDomains = append(r.accessedDomains, d)
+}
+
+// Version returns the committed write count.
+func (r *Region) Version() uint64 { return r.version }
+
+// Owner returns the domain holding the newest data (nil before any write).
+func (r *Region) Owner() *hostsim.Domain { return r.owner }
+
+// HasCurrentCopy reports whether the domain holds the latest version.
+func (r *Region) HasCurrentCopy(d *hostsim.Domain) bool {
+	return r.version > 0 && r.copies[d] == r.version
+}
+
+// readerVirtuals returns the deduplicated virtual node set of gen readers.
+func (r *Region) readerVirtuals() []hypergraph.NodeID {
+	return dedupeNodes(r.genReaders, func(a Accessor) hypergraph.NodeID { return a.Virtual })
+}
+
+// readerPhysicals returns the deduplicated physical node set of gen readers.
+func (r *Region) readerPhysicals() []hypergraph.NodeID {
+	return dedupeNodes(r.genReaders, func(a Accessor) hypergraph.NodeID { return a.Physical })
+}
+
+func dedupeNodes(accs []Accessor, key func(Accessor) hypergraph.NodeID) []hypergraph.NodeID {
+	seen := make(map[hypergraph.NodeID]bool, len(accs))
+	out := make([]hypergraph.NodeID, 0, len(accs))
+	for _, a := range accs {
+		id := key(a)
+		if !seen[id] {
+			seen[id] = true
+			out = append(out, id)
+		}
+	}
+	return out
+}

@@ -1,0 +1,175 @@
+// Package virtio models the paravirtual guest-host transport of vSoC (§3.1,
+// §4): command rings carrying driver commands from guest kernel drivers to
+// host virtual devices, guest-notify "kicks" that cost a VM-exit, host
+// interrupts that cost a VM-entry/exit pair on the guest side, and shared
+// MMIO pages for cheap status sharing (the virtual fence table).
+//
+// The transport costs here are what make guest-host control-flow
+// synchronization expensive, which is the problem the virtual command fence
+// mechanism (§3.4) exists to avoid.
+package virtio
+
+import (
+	"time"
+
+	"repro/internal/sim"
+)
+
+// Config holds the transport cost model.
+type Config struct {
+	// KickCost is the guest-side cost of notifying the host after
+	// publishing descriptors (a VM-exit).
+	KickCost time.Duration
+	// IRQCost is the guest-side cost of fielding a host interrupt.
+	IRQCost time.Duration
+	// PerCommandCost is the marshaling cost per command on the guest side.
+	PerCommandCost time.Duration
+}
+
+// DefaultConfig mirrors measured KVM-class transport costs: tens of
+// microseconds per exit once emulator dispatch overhead is included.
+func DefaultConfig() Config {
+	return Config{
+		KickCost:       20 * time.Microsecond,
+		IRQCost:        15 * time.Microsecond,
+		PerCommandCost: 2 * time.Microsecond,
+	}
+}
+
+// Stats counts transport events for the overhead reports.
+type Stats struct {
+	Commands int
+	Kicks    int
+	IRQs     int
+}
+
+// Command is one unit of work dispatched from a guest driver to a host
+// virtual device.
+type Command struct {
+	Kind    string
+	Payload any
+	Seq     uint64
+	// Done fires when the host finishes executing the command. Guest
+	// drivers wait on it only in synchronous (atomic) modes.
+	Done *sim.Event
+	// EnqueuedAt is the virtual time the guest dispatched the command.
+	EnqueuedAt time.Duration
+}
+
+// Ring is a virtqueue: a FIFO of commands from a guest driver to its host
+// device counterpart.
+type Ring struct {
+	Name  string
+	env   *sim.Env
+	cfg   Config
+	q     *sim.Queue[*Command]
+	seq   uint64
+	stats Stats
+}
+
+// NewRing returns a ring with unbounded descriptor capacity (flow control
+// is layered above, see internal/flowcontrol).
+func NewRing(env *sim.Env, name string, cfg Config) *Ring {
+	return &Ring{Name: name, env: env, cfg: cfg, q: sim.NewQueue[*Command](env, 0)}
+}
+
+// NewCommand builds a command bound to this ring's sequence space.
+func (r *Ring) NewCommand(kind string, payload any) *Command {
+	r.seq++
+	return &Command{Kind: kind, Payload: payload, Seq: r.seq, Done: sim.NewEvent(r.env)}
+}
+
+// Dispatch publishes one command and kicks the host. The calling guest
+// process pays marshaling plus one VM-exit.
+func (r *Ring) Dispatch(p *sim.Proc, c *Command) {
+	r.DispatchBatch(p, []*Command{c})
+}
+
+// DispatchBatch publishes several commands with a single kick — the
+// batching that command queues exist for (§3.4).
+func (r *Ring) DispatchBatch(p *sim.Proc, cmds []*Command) {
+	if len(cmds) == 0 {
+		return
+	}
+	p.Sleep(time.Duration(len(cmds))*r.cfg.PerCommandCost + r.cfg.KickCost)
+	for _, c := range cmds {
+		c.EnqueuedAt = p.Now()
+		r.stats.Commands++
+		r.q.Put(p, c)
+	}
+	r.stats.Kicks++
+}
+
+// Recv blocks the host device process until a command arrives.
+func (r *Ring) Recv(p *sim.Proc) *Command { return r.q.Get(p) }
+
+// TryRecv pops a command without blocking.
+func (r *Ring) TryRecv() (*Command, bool) { return r.q.TryGet() }
+
+// Pending returns the queued command count.
+func (r *Ring) Pending() int { return r.q.Len() }
+
+// Stats returns transport counters.
+func (r *Ring) Stats() Stats { return r.stats }
+
+// IRQLine models host-to-guest interrupt delivery. Each delivered interrupt
+// costs the receiving guest process IRQCost, the "extra VM-Exits from
+// interrupts" that make the event-driven ordering paradigm expensive (§3.4).
+type IRQLine struct {
+	Name  string
+	env   *sim.Env
+	cfg   Config
+	q     *sim.Queue[any]
+	count int
+}
+
+// NewIRQLine returns an interrupt line.
+func NewIRQLine(env *sim.Env, name string, cfg Config) *IRQLine {
+	return &IRQLine{Name: name, env: env, cfg: cfg, q: sim.NewQueue[any](env, 0)}
+}
+
+// Raise injects an interrupt carrying v. Host side; costless for the
+// raiser beyond scheduling.
+func (l *IRQLine) Raise(v any) {
+	l.count++
+	l.q.TryPut(v)
+}
+
+// Wait blocks the guest process until an interrupt arrives, then pays the
+// guest-side handling cost.
+func (l *IRQLine) Wait(p *sim.Proc) any {
+	v := l.q.Get(p)
+	p.Sleep(l.cfg.IRQCost)
+	return v
+}
+
+// Raised returns the number of interrupts injected.
+func (l *IRQLine) Raised() int { return l.count }
+
+// SharedPage models a guest page shared with the host via MMIO (§4): both
+// sides read and write it without transport cost. Capacity is fixed at one
+// 4 KiB page; the fence table recycles slots to stay within it.
+type SharedPage struct {
+	Size  int // bytes used
+	Limit int // page size
+}
+
+// NewSharedPage returns an empty 4 KiB shared page.
+func NewSharedPage() *SharedPage { return &SharedPage{Limit: 4096} }
+
+// Reserve claims n bytes, reporting whether they fit.
+func (s *SharedPage) Reserve(n int) bool {
+	if s.Size+n > s.Limit {
+		return false
+	}
+	s.Size += n
+	return true
+}
+
+// Free returns n bytes.
+func (s *SharedPage) Free(n int) {
+	s.Size -= n
+	if s.Size < 0 {
+		panic("virtio: shared page over-freed")
+	}
+}

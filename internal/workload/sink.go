@@ -1,0 +1,249 @@
+package workload
+
+import (
+	"time"
+
+	"repro/internal/device"
+	"repro/internal/emulator"
+	"repro/internal/guest"
+	"repro/internal/hostsim"
+	"repro/internal/metrics"
+	"repro/internal/sim"
+	"repro/internal/svm"
+)
+
+// uiOverlay is the app's UI layer: a display-sized SVM buffer redrawn by
+// the guest CPU and composited by the GPU every frame. UI layers are why
+// popular apps also benefit from SVM improvements (§5.5: Skia).
+type uiOverlay struct {
+	handle svm.Handle
+	region svm.RegionID
+	dirty  hostsim.Bytes
+	mp     float64 // dirty megapixels
+}
+
+// newUIOverlay allocates the overlay and starts the guest UI thread, which
+// redraws dirty bytes each frame period.
+func newUIOverlay(p *sim.Proc, e *emulator.Emulator, spec *Spec, stop time.Duration) (*uiOverlay, error) {
+	if spec.UIDirtyFraction <= 0 {
+		return nil, nil
+	}
+	h, err := e.HAL.Alloc(p, spec.DisplayFrameBytes())
+	if err != nil {
+		return nil, err
+	}
+	region, err := e.HAL.RegionOf(h)
+	if err != nil {
+		return nil, err
+	}
+	ui := &uiOverlay{
+		handle: h,
+		region: region,
+		dirty:  spec.UIDirtyBytes(),
+		mp:     MPixels(spec.DisplayW, spec.DisplayH) * spec.UIDirtyFraction,
+	}
+	period := spec.FramePeriod()
+	drawCost := time.Duration(float64(e.Machine.Perf.UIFrame) * spec.UIDirtyFraction * 2)
+	p.Env().Spawn("ui-thread", func(up *sim.Proc) {
+		for up.Now() < stop {
+			a, err := e.HAL.BeginAccess(up, h, svm.UsageWrite, ui.dirty)
+			if err != nil {
+				return
+			}
+			e.Machine.CPU.Exec(up, drawCost)
+			if _, err := a.End(up); err != nil {
+				return
+			}
+			up.Sleep(period)
+		}
+	})
+	return ui, nil
+}
+
+// debugSink enables drop tracing during calibration.
+var debugSink = false
+
+// sink is the consumer end of every pipeline: a SurfaceFlinger-style
+// renderer that paces frames against their presentation timestamps, drops
+// stale or deadline-missing frames (§5.4's MediaCodec semantics), composites
+// the UI overlay, and presents through the display device.
+type sink struct {
+	e    *emulator.Emulator
+	spec *Spec
+	q    *guest.BufferQueue
+	ui   *uiOverlay
+	stop time.Duration
+
+	// renderExec computes the GPU cost of rendering one content frame.
+	renderExec func() time.Duration
+	// cpuPerFrame is extra guest CPU work per frame (AR tracking).
+	cpuPerFrame time.Duration
+	// appWork returns the frame's app-side CPU cost (UI logic, danmaku,
+	// audio mixing) — jittered, so near-budget pipelines drop occasional
+	// frames the way real apps jank.
+	appWork func() time.Duration
+	// measureLatency enables motion-to-photon recording from SourceTime.
+	measureLatency bool
+	// strictPTS selects MediaCodec video semantics: frames must present
+	// by their timestamp or be discarded (§5.4). When false the sink is a
+	// camera/AR-style compositor: it latches the newest available frame
+	// at each refresh and presents it regardless of age (latency shows up
+	// in motion-to-photon instead of drops).
+	strictPTS bool
+
+	fps metrics.FPSCounter
+	lat metrics.Distribution
+
+	// drop diagnostics
+	staleDrops    int
+	deadlineDrops int
+}
+
+func (s *sink) run(p *sim.Proc) {
+	if !s.strictPTS {
+		s.runLatestWins(p)
+		return
+	}
+	period := s.spec.FramePeriod()
+	tol := s.spec.StaleTolerance
+	var anchor time.Duration = -1
+	for p.Now() < s.stop {
+		b := s.q.Acquire(p)
+		backlog := s.q.FilledCount()
+		if anchor < 0 {
+			anchor = p.Now() - b.PTS
+		}
+		sched := anchor + b.PTS
+		if late := p.Now() - sched; late > 0 && backlog == 0 {
+			// Producer-limited playback: the frame arrived behind the
+			// media clock with nothing queued behind it. The player
+			// re-anchors to the arrival rate instead of discarding
+			// everything (slow-but-shown, §5.3's GAE behaviour).
+			anchor = p.Now() - b.PTS
+			sched = p.Now()
+		} else if late > tol {
+			// Renderer-limited backlog: discard the stale frame without
+			// rendering (releaseOutputBuffer(render=false)).
+			s.fps.Drop()
+			s.staleDrops++
+			if debugSink {
+				println("STALE", int64(p.Now()/1e6), "seq", b.Seq, "late_ms", int64(late/1e6), "backlog", backlog)
+			}
+			s.q.Release(p, b)
+			continue
+		}
+		if wait := sched - p.Now(); wait > 0 {
+			p.Sleep(wait)
+		}
+		if s.cpuPerFrame > 0 {
+			s.e.Machine.CPU.Exec(p, s.cpuPerFrame)
+		}
+		if s.appWork != nil {
+			s.e.Machine.CPU.Exec(p, s.appWork())
+		}
+
+		// Sample the content frame as a texture (the read that triggers
+		// coherence maintenance, §5.4), then composite the UI overlay.
+		last := s.e.GPU.Submit(p, device.Op{
+			Kind: device.OpRead, Region: b.Region, Bytes: b.Dirty,
+			Exec: s.renderExec(), After: b.Ticket,
+			Commands: 30, // texture bind + draw + swap command stream
+		})
+		if s.ui != nil {
+			last = s.e.GPU.Submit(p, device.Op{
+				Kind: device.OpRead, Region: s.ui.region, Bytes: s.ui.dirty,
+				Exec: s.e.RenderCost(s.ui.mp), After: last, Commands: 20,
+			})
+		}
+		src := b.SourceTime
+		deadline := sched + period + tol
+		s.e.Display.Submit(p, device.Op{
+			Kind: device.OpExec, Exec: 200 * time.Microsecond, After: last, Commands: 4,
+			OnComplete: func(at time.Duration) {
+				if at > deadline {
+					// Rendered but missed the presentation window.
+					s.fps.Drop()
+					s.deadlineDrops++
+					if debugSink {
+						println("DEADLINE", int64(at/1e6), "sched", int64(sched/1e6), "deadline", int64(deadline/1e6))
+					}
+					return
+				}
+				s.fps.Present(at)
+				if s.measureLatency && src > 0 {
+					s.lat.AddDuration(at - src)
+				}
+			},
+		})
+		// The buffer may be reused once the GPU has sampled it.
+		last.Ready.Wait(p)
+		s.q.Release(p, b)
+	}
+}
+
+// runLatestWins is the compositor path: drain the queue to the freshest
+// frame (dropping older ones unrendered), latch at the next refresh, and
+// present unconditionally.
+func (s *sink) runLatestWins(p *sim.Proc) {
+	for p.Now() < s.stop {
+		b := s.q.Acquire(p)
+		for {
+			nb, ok := s.q.TryAcquire()
+			if !ok {
+				break
+			}
+			s.fps.Drop()
+			s.staleDrops++
+			s.q.Release(p, b)
+			b = nb
+		}
+		s.e.VSync.Wait(p)
+		if s.cpuPerFrame > 0 {
+			s.e.Machine.CPU.Exec(p, s.cpuPerFrame)
+		}
+		if s.appWork != nil {
+			s.e.Machine.CPU.Exec(p, s.appWork())
+		}
+		last := s.e.GPU.Submit(p, device.Op{
+			Kind: device.OpRead, Region: b.Region, Bytes: b.Dirty,
+			Exec: s.renderExec(), After: b.Ticket, Commands: 30,
+		})
+		if s.ui != nil {
+			last = s.e.GPU.Submit(p, device.Op{
+				Kind: device.OpRead, Region: s.ui.region, Bytes: s.ui.dirty,
+				Exec: s.e.RenderCost(s.ui.mp), After: last, Commands: 20,
+			})
+		}
+		src := b.SourceTime
+		s.e.Display.Submit(p, device.Op{
+			Kind: device.OpExec, Exec: 200 * time.Microsecond, After: last, Commands: 4,
+			OnComplete: func(at time.Duration) {
+				s.fps.Present(at)
+				if s.measureLatency && src > 0 {
+					s.lat.AddDuration(at - src)
+				}
+			},
+		})
+		last.Ready.Wait(p)
+		s.q.Release(p, b)
+	}
+}
+
+// result assembles the run's Result.
+func (s *sink) result(e *emulator.Emulator, spec *Spec) *Result {
+	r := &Result{
+		App:      spec.Name,
+		Emulator: e.Preset.Name,
+		Machine:  e.Machine.Name,
+		Category: spec.Category,
+		Duration: spec.Duration,
+		FPS:      s.fps.FPS(s.stop),
+		Frames:   s.fps.Frames(),
+		Drops:    s.fps.Dropped(),
+	}
+	r.StaleDrops = s.staleDrops
+	r.DeadlineDrops = s.deadlineDrops
+	r.PerSecondFPS = s.fps.PerSecond(s.stop)
+	r.Latency.Merge(&s.lat)
+	return r
+}
