@@ -1,0 +1,31 @@
+# Tier-1 gate is `make check`: everything CI (and the roadmap) requires to
+# pass before a change lands. `make verify` adds the race detector over the
+# concurrency-bearing packages and a benchmark smoke run of the sim core.
+
+GO ?= go
+
+.PHONY: check build vet test race bench-smoke verify
+
+check: vet build test
+
+build:
+	$(GO) build ./...
+
+vet:
+	$(GO) vet ./...
+
+test:
+	$(GO) test ./...
+
+# The sim scheduler and the experiment fan-out are the only concurrent code;
+# everything else is single-goroutine simulation.
+race:
+	$(GO) test -race ./internal/sim/... ./internal/experiments/...
+
+# One short iteration of the scheduler microbenchmarks: catches gross
+# regressions (and any return of per-event allocation) without the noise
+# sensitivity of a full benchmark run.
+bench-smoke:
+	$(GO) test -run=NONE -bench='SteadyState|ZeroDelay' -benchtime=10000x -benchmem ./internal/sim/bench
+
+verify: check race bench-smoke

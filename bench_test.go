@@ -40,7 +40,8 @@ func BenchmarkTable1Workloads(b *testing.B) {
 }
 
 // BenchmarkTable2SVMMicro regenerates Table 2: SVM access latency, coherence
-// cost, and throughput on both machines.
+// cost, and throughput on both machines. Sessions fan out across the CPUs;
+// compare against BenchmarkTable2SVMMicroSerial for the speedup.
 func BenchmarkTable2SVMMicro(b *testing.B) {
 	var res *experiments.Table2Result
 	for i := 0; i < b.N; i++ {
@@ -56,6 +57,20 @@ func BenchmarkTable2SVMMicro(b *testing.B) {
 	b.ReportMetric(g.CoherenceCostMS, "gae-coherence-ms")
 	b.ReportMetric(v.ThroughputGBs, "vsoc-GB/s")
 	b.ReportMetric(g.ThroughputGBs, "gae-GB/s")
+}
+
+// BenchmarkTable2SVMMicroSerial is the single-worker baseline for the
+// parallel fan-out: identical results, wall-clock difference is the speedup
+// (visible only on multicore hosts).
+func BenchmarkTable2SVMMicroSerial(b *testing.B) {
+	cfg := benchCfg()
+	cfg.Workers = 1
+	var res *experiments.Table2Result
+	for i := 0; i < b.N; i++ {
+		res = experiments.RunTable2(cfg)
+	}
+	v := res.Of("vSoC", experiments.HighEnd.Name)
+	b.ReportMetric(v.AccessLatencyMS, "vsoc-access-ms")
 }
 
 // BenchmarkFigure4SizeCDF regenerates the region-size distribution of the

@@ -6,7 +6,11 @@
 // Usage:
 //
 //	vsocbench [-exp all|table1|table2|fig10|fig11|fig12|fig13|fig14|fig15|fig16|prediction|overhead|popablation]
-//	          [-duration 30s] [-apps 10] [-popular 25] [-seed 1]
+//	          [-duration 30s] [-apps 10] [-popular 25] [-seed 1] [-workers 0]
+//
+// -workers bounds how many app sessions simulate concurrently (0 = one per
+// CPU, 1 = serial). Results are identical at every setting; only wall-clock
+// time changes.
 //
 // Figure 13 prints with fig10 and figure 14 with fig11 (same runs).
 package main
@@ -26,6 +30,7 @@ func main() {
 	apps := flag.Int("apps", 10, "apps per emerging category")
 	popular := flag.Int("popular", 25, "popular apps to run")
 	seed := flag.Int64("seed", 1, "simulation seed")
+	workers := flag.Int("workers", 0, "concurrent app sessions (0 = one per CPU, 1 = serial)")
 	flag.Parse()
 
 	cfg := experiments.Config{
@@ -33,8 +38,10 @@ func main() {
 		AppsPerCategory: *apps,
 		PopularApps:     *popular,
 		Seed:            *seed,
+		Workers:         *workers,
 	}
 
+	wallStart := time.Now()
 	run := func(name string, fn func()) {
 		if *exp == "all" || *exp == name {
 			start := time.Now()
@@ -42,6 +49,9 @@ func main() {
 			fmt.Printf("[%s in %.1fs]\n\n", name, time.Since(start).Seconds())
 		}
 	}
+	defer func() {
+		fmt.Printf("[total %.1fs, %d workers]\n", time.Since(wallStart).Seconds(), cfg.EffectiveWorkers())
+	}()
 
 	run("table1", func() {
 		fmt.Print(experiments.FormatTable1(experiments.Table1()))

@@ -45,32 +45,54 @@ func avgDrop(full, ablated []float64) float64 {
 	return sum / float64(n)
 }
 
-// RunAblation reproduces Fig. 12 on the high-end machine.
+// RunAblation reproduces Fig. 12 on the high-end machine. The
+// (variant, category, app) sessions fan out across Config.Workers and are
+// averaged in loop order.
 func RunAblation(cfg Config) *AblationResult {
 	variants := []emulator.Preset{
 		emulator.VSoC(), emulator.VSoCNoPrefetch(), emulator.VSoCNoFence(),
 	}
+	type job struct{ vi, cat, app int }
+	type result struct {
+		fps float64
+		ok  bool
+	}
+	var jobs []job
+	for vi := range variants {
+		for cat := 0; cat < emulator.NumCategories; cat++ {
+			runnable := variants[vi].EmergingCompat[cat]
+			if runnable > cfg.AppsPerCategory {
+				runnable = cfg.AppsPerCategory
+			}
+			for app := 0; app < runnable; app++ {
+				jobs = append(jobs, job{vi, cat, app})
+			}
+		}
+	}
+	results := parmap(cfg.workers(), len(jobs), func(i int) result {
+		j := jobs[i]
+		sess := workload.NewSession(variants[j.vi], HighEnd.New, appSeed(cfg.Seed, 100+j.vi, j.cat, j.app))
+		defer sess.Close()
+		spec := workload.DefaultSpec(j.cat, j.app, cfg.Duration)
+		r, err := workload.RunEmerging(sess.Emulator, spec)
+		if err != nil {
+			return result{}
+		}
+		return result{fps: r.FPS, ok: true}
+	})
 	out := &AblationResult{}
 	for cat := 0; cat < emulator.NumCategories; cat++ {
 		out.Categories = append(out.Categories, emulator.CategoryNames[cat])
 	}
-	for vi, preset := range variants {
+	for vi := range variants {
 		for cat := 0; cat < emulator.NumCategories; cat++ {
-			runnable := preset.EmergingCompat[cat]
-			if runnable > cfg.AppsPerCategory {
-				runnable = cfg.AppsPerCategory
-			}
 			var fps float64
 			n := 0
-			for app := 0; app < runnable; app++ {
-				sess := workload.NewSession(preset, HighEnd.New, appSeed(cfg.Seed, 100+vi, cat, app))
-				spec := workload.DefaultSpec(cat, app, cfg.Duration)
-				r, err := workload.RunEmerging(sess.Emulator, spec)
-				sess.Close()
-				if err != nil {
+			for i, j := range jobs {
+				if j.vi != vi || j.cat != cat || !results[i].ok {
 					continue
 				}
-				fps += r.FPS
+				fps += results[i].fps
 				n++
 			}
 			mean := 0.0
@@ -111,19 +133,23 @@ func RunPopularAblation(cfg Config) *PopularAblationResult {
 	variants := []emulator.Preset{
 		emulator.VSoC(), emulator.VSoCNoPrefetch(), emulator.VSoCNoFence(),
 	}
-	fps := make([][]float64, len(variants))
-	for vi, preset := range variants {
-		for app, kind := range mix {
-			sess := workload.NewSession(preset, HighEnd.New, appSeed(cfg.Seed, 200+vi, int(kind), app))
-			spec := workload.PopularSpec(kind, app, cfg.Duration)
-			r, err := workload.RunPopular(sess.Emulator, kind, spec)
-			sess.Close()
-			if err != nil {
-				fps[vi] = append(fps[vi], 0)
-				continue
-			}
-			fps[vi] = append(fps[vi], r.FPS)
+	// Every (variant, app) pair is one independent session; failures record
+	// 0 FPS, matching the serial bookkeeping.
+	flat := parmap(cfg.workers(), len(variants)*len(mix), func(i int) float64 {
+		vi, app := i/len(mix), i%len(mix)
+		kind := mix[app]
+		sess := workload.NewSession(variants[vi], HighEnd.New, appSeed(cfg.Seed, 200+vi, int(kind), app))
+		defer sess.Close()
+		spec := workload.PopularSpec(kind, app, cfg.Duration)
+		r, err := workload.RunPopular(sess.Emulator, kind, spec)
+		if err != nil {
+			return 0
 		}
+		return r.FPS
+	})
+	fps := make([][]float64, len(variants))
+	for vi := range variants {
+		fps[vi] = flat[vi*len(mix) : (vi+1)*len(mix)]
 	}
 	out := &PopularAblationResult{Apps: len(mix)}
 	var d metrics.Distribution

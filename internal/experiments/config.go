@@ -30,6 +30,13 @@ type Config struct {
 	PopularApps int
 	// Seed drives all randomness.
 	Seed int64
+	// Workers bounds how many app sessions the Run* drivers simulate
+	// concurrently. 0 means one worker per CPU (GOMAXPROCS); 1 forces the
+	// serial path, as does setting VSOC_SERIAL=1 in the environment.
+	// Results are identical for every setting — sessions are independent
+	// simulations merged in a fixed order — so Workers only trades
+	// wall-clock time for cores.
+	Workers int
 }
 
 // Quick returns a configuration suitable for tests and benchmarks.

@@ -1,0 +1,94 @@
+package experiments
+
+import (
+	"fmt"
+	"runtime"
+	"sync/atomic"
+	"testing"
+	"time"
+)
+
+// detCfg is small enough to run the full study twice per seed in a test.
+func detCfg(seed int64, workers int) Config {
+	return Config{
+		Duration:        5 * time.Second,
+		AppsPerCategory: 2,
+		PopularApps:     4,
+		Seed:            seed,
+		Workers:         workers,
+	}
+}
+
+// TestParallelDeterminism is the fan-out contract: the formatted output of
+// the study and Table 2 runners must be byte-identical between the serial
+// path and a heavily oversubscribed parallel run, across seeds.
+func TestParallelDeterminism(t *testing.T) {
+	workers := runtime.NumCPU()
+	if workers < 4 {
+		workers = 4 // oversubscribe so interleaving actually happens
+	}
+	for _, seed := range []int64{1, 7} {
+		seed := seed
+		t.Run(fmt.Sprintf("seed=%d", seed), func(t *testing.T) {
+			serialStudy := FormatStudy(RunStudy(detCfg(seed, 1)))
+			parallelStudy := FormatStudy(RunStudy(detCfg(seed, workers)))
+			if serialStudy != parallelStudy {
+				t.Errorf("RunStudy diverges between 1 and %d workers:\nserial:\n%s\nparallel:\n%s",
+					workers, serialStudy, parallelStudy)
+			}
+			serialT2 := FormatTable2(RunTable2(detCfg(seed, 1)))
+			parallelT2 := FormatTable2(RunTable2(detCfg(seed, workers)))
+			if serialT2 != parallelT2 {
+				t.Errorf("RunTable2 diverges between 1 and %d workers:\nserial:\n%s\nparallel:\n%s",
+					workers, serialT2, parallelT2)
+			}
+		})
+	}
+}
+
+// TestParmap checks the index plumbing: every index runs exactly once and
+// lands in its own slot, at any worker count.
+func TestParmap(t *testing.T) {
+	for _, workers := range []int{1, 2, 7, 64} {
+		var calls atomic.Int64
+		out := parmap(workers, 50, func(i int) int {
+			calls.Add(1)
+			return i * i
+		})
+		if got := calls.Load(); got != 50 {
+			t.Fatalf("workers=%d: fn ran %d times, want 50", workers, got)
+		}
+		for i, v := range out {
+			if v != i*i {
+				t.Fatalf("workers=%d: out[%d] = %d, want %d", workers, i, v, i*i)
+			}
+		}
+	}
+}
+
+func TestParmapEmpty(t *testing.T) {
+	out := parmap(8, 0, func(i int) int {
+		t.Fatal("fn called for n=0")
+		return 0
+	})
+	if len(out) != 0 {
+		t.Fatalf("len(out) = %d, want 0", len(out))
+	}
+}
+
+// TestSerialEnvOverride checks the VSOC_SERIAL escape hatch beats both the
+// Workers field and the GOMAXPROCS default.
+func TestSerialEnvOverride(t *testing.T) {
+	cfg := Config{Workers: 8}
+	if got := cfg.EffectiveWorkers(); got != 8 {
+		t.Fatalf("EffectiveWorkers = %d, want 8", got)
+	}
+	t.Setenv(SerialEnv, "1")
+	if got := cfg.EffectiveWorkers(); got != 1 {
+		t.Fatalf("EffectiveWorkers with %s=1 = %d, want 1", SerialEnv, got)
+	}
+	cfg.Workers = 0
+	if got := cfg.EffectiveWorkers(); got != 1 {
+		t.Fatalf("EffectiveWorkers default with %s=1 = %d, want 1", SerialEnv, got)
+	}
+}

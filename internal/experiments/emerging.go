@@ -74,27 +74,54 @@ func (r *EmergingResult) MeanLatencyOf(emu string) float64 {
 // RunEmergingSweep reproduces Figs. 10/13 (HighEnd) or 11/14 (MidEnd): all
 // six emulators across the five Table 1 categories.
 func RunEmergingSweep(cfg Config, machine MachineSpec) *EmergingResult {
-	out := &EmergingResult{Machine: machine.Name}
-	for ei, preset := range presets() {
+	emus := presets()
+	type job struct{ ei, cat, app int }
+	type result struct {
+		fps     float64
+		latMean float64
+		hasLat  bool
+		ok      bool
+	}
+	var jobs []job
+	for ei := range emus {
 		for cat := 0; cat < emulator.NumCategories; cat++ {
-			cell := FPSCell{Emulator: preset.Name, Category: emulator.CategoryNames[cat]}
-			runnable := preset.EmergingCompat[cat]
+			runnable := emus[ei].EmergingCompat[cat]
 			if runnable > cfg.AppsPerCategory {
 				runnable = cfg.AppsPerCategory
 			}
+			for app := 0; app < runnable; app++ {
+				jobs = append(jobs, job{ei, cat, app})
+			}
+		}
+	}
+	results := parmap(cfg.workers(), len(jobs), func(i int) result {
+		j := jobs[i]
+		sess := workload.NewSession(emus[j.ei], machine.New, appSeed(cfg.Seed, j.ei, j.cat, j.app))
+		defer sess.Close()
+		spec := workload.DefaultSpec(j.cat, j.app, cfg.Duration)
+		r, err := workload.RunEmerging(sess.Emulator, spec)
+		if err != nil {
+			return result{}
+		}
+		res := result{fps: r.FPS, ok: true}
+		if r.Latency.Count() > 0 {
+			res.latMean, res.hasLat = r.Latency.Mean(), true
+		}
+		return res
+	})
+	out := &EmergingResult{Machine: machine.Name}
+	for ei, preset := range emus {
+		for cat := 0; cat < emulator.NumCategories; cat++ {
+			cell := FPSCell{Emulator: preset.Name, Category: emulator.CategoryNames[cat]}
 			var fps float64
 			var lat metrics.Distribution
-			for app := 0; app < runnable; app++ {
-				sess := workload.NewSession(preset, machine.New, appSeed(cfg.Seed, ei, cat, app))
-				spec := workload.DefaultSpec(cat, app, cfg.Duration)
-				r, err := workload.RunEmerging(sess.Emulator, spec)
-				sess.Close()
-				if err != nil {
+			for i, j := range jobs {
+				if j.ei != ei || j.cat != cat || !results[i].ok {
 					continue
 				}
-				fps += r.FPS
-				if r.Latency.Count() > 0 {
-					lat.Add(r.Latency.Mean())
+				fps += results[i].fps
+				if results[i].hasLat {
+					lat.Add(results[i].latMean)
 				}
 				cell.Apps++
 			}

@@ -28,23 +28,35 @@ type ServicesResult struct {
 // RunServices traces the emerging-app mix on vSoC with §2.3-style process
 // attribution.
 func RunServices(cfg Config) *ServicesResult {
-	c := trace.NewCollector()
-	var total time.Duration
+	type job struct{ cat, app int }
+	var jobs []job
 	for cat := 0; cat < emulator.NumCategories; cat++ {
 		apps := cfg.AppsPerCategory
 		if apps > 2 {
 			apps = 2
 		}
 		for app := 0; app < apps; app++ {
-			sess := workload.NewSession(emulator.VSoC(), HighEnd.New, appSeed(cfg.Seed, 700, cat, app))
-			appTrace := trace.NewCollector()
-			trace.Attach(sess.Emulator.Manager, appTrace, trace.AndroidServiceOf)
-			spec := workload.DefaultSpec(cat, app, cfg.Duration)
-			if _, err := workload.RunEmerging(sess.Emulator, spec); err == nil {
-				c.Merge(appTrace)
-				total += cfg.Duration
-			}
-			sess.Close()
+			jobs = append(jobs, job{cat, app})
+		}
+	}
+	traces := parmap(cfg.workers(), len(jobs), func(i int) *trace.Collector {
+		j := jobs[i]
+		sess := workload.NewSession(emulator.VSoC(), HighEnd.New, appSeed(cfg.Seed, 700, j.cat, j.app))
+		defer sess.Close()
+		appTrace := trace.NewCollector()
+		trace.Attach(sess.Emulator.Manager, appTrace, trace.AndroidServiceOf)
+		spec := workload.DefaultSpec(j.cat, j.app, cfg.Duration)
+		if _, err := workload.RunEmerging(sess.Emulator, spec); err != nil {
+			return nil
+		}
+		return appTrace
+	})
+	c := trace.NewCollector()
+	var total time.Duration
+	for _, appTrace := range traces {
+		if appTrace != nil {
+			c.Merge(appTrace)
+			total += cfg.Duration
 		}
 	}
 	return &ServicesResult{
@@ -104,8 +116,9 @@ func (r *ProtocolResult) Of(name string) *ProtocolCell {
 // latency; broadcast pays bandwidth pushing every frame to the NIC; the
 // prefetch protocol follows the flow.
 func RunProtocols(cfg Config) *ProtocolResult {
-	out := &ProtocolResult{}
-	for _, kind := range []svm.Kind{svm.KindPrefetch, svm.KindWriteInvalidate, svm.KindBroadcast} {
+	kinds := []svm.Kind{svm.KindPrefetch, svm.KindWriteInvalidate, svm.KindBroadcast}
+	cells := parmap(cfg.workers(), len(kinds), func(ki int) ProtocolCell {
+		kind := kinds[ki]
 		env := sim.NewEnv(cfg.Seed + int64(kind))
 		mach := hostsim.HighEndDesktop(env)
 		scfg := svm.DefaultConfig()
@@ -147,15 +160,15 @@ func RunProtocols(cfg Config) *ProtocolResult {
 		})
 		env.RunUntil(cfg.Duration * 4)
 		st := m.Stats()
-		out.Cells = append(out.Cells, ProtocolCell{
+		env.Close()
+		return ProtocolCell{
 			Protocol:      kind.String(),
 			ReadLatencyMS: readLat.Mean(),
 			CoherenceGiB:  float64(st.BytesCoherence) / (1 << 30),
 			WasteFraction: st.WasteFraction(),
-		})
-		env.Close()
-	}
-	return out
+		}
+	})
+	return &ProtocolResult{Cells: cells}
 }
 
 // FormatProtocols renders the protocol comparison.
@@ -209,8 +222,17 @@ func RunThermal(cfg Config) *ThermalResult {
 		}
 		return buckets, sess.Machine.Thermal != nil && sess.Machine.Thermal.Throttled()
 	}
-	out.GAE, out.GAEThrottled = run(emulator.GAE())
-	out.VSoC, out.VSoCThrottled = run(emulator.VSoC())
+	type thermalRun struct {
+		buckets   []float64
+		throttled bool
+	}
+	presets := []emulator.Preset{emulator.GAE(), emulator.VSoC()}
+	runs := parmap(cfg.workers(), len(presets), func(i int) thermalRun {
+		b, throttled := run(presets[i])
+		return thermalRun{buckets: b, throttled: throttled}
+	})
+	out.GAE, out.GAEThrottled = runs[0].buckets, runs[0].throttled
+	out.VSoC, out.VSoCThrottled = runs[1].buckets, runs[1].throttled
 	return out
 }
 
@@ -261,26 +283,24 @@ func (r *ResolutionResult) Of(emu string, w int) *ResolutionCell {
 // RunResolutionSweep plays the video workload at 720p, 1080p, and UHD on
 // the weakest emulators plus vSoC.
 func RunResolutionSweep(cfg Config) *ResolutionResult {
-	out := &ResolutionResult{}
 	resolutions := [][2]int{{1280, 720}, {1920, 1080}, {3840, 2160}}
 	targets := []emulator.Preset{
 		emulator.VSoC(), emulator.LDPlayer(), emulator.Bluestacks(), emulator.Trinity(),
 	}
-	for ei, preset := range targets {
-		for ri, res := range resolutions {
-			sess := workload.NewSession(preset, HighEnd.New, appSeed(cfg.Seed, 800+ei, ri, 0))
-			spec := workload.DefaultSpec(emulator.CatUHDVideo, 0, cfg.Duration)
-			spec.VideoW, spec.VideoH = res[0], res[1]
-			r, err := workload.RunEmerging(sess.Emulator, spec)
-			cell := ResolutionCell{Emulator: preset.Name, Width: res[0], Height: res[1]}
-			if err == nil {
-				cell.FPS = r.FPS
-			}
-			sess.Close()
-			out.Cells = append(out.Cells, cell)
+	cells := parmap(cfg.workers(), len(targets)*len(resolutions), func(i int) ResolutionCell {
+		ei, ri := i/len(resolutions), i%len(resolutions)
+		preset, res := targets[ei], resolutions[ri]
+		sess := workload.NewSession(preset, HighEnd.New, appSeed(cfg.Seed, 800+ei, ri, 0))
+		defer sess.Close()
+		spec := workload.DefaultSpec(emulator.CatUHDVideo, 0, cfg.Duration)
+		spec.VideoW, spec.VideoH = res[0], res[1]
+		cell := ResolutionCell{Emulator: preset.Name, Width: res[0], Height: res[1]}
+		if r, err := workload.RunEmerging(sess.Emulator, spec); err == nil {
+			cell.FPS = r.FPS
 		}
-	}
-	return out
+		return cell
+	})
+	return &ResolutionResult{Cells: cells}
 }
 
 // FormatResolution renders the sweep.

@@ -40,57 +40,76 @@ func (t *Table2Result) Of(emu, machine string) *SVMPerf {
 	return nil
 }
 
-// runMix runs one app from each emerging category on a fresh session and
-// merges the SVM statistics.
-func runMix(cfg Config, preset emulator.Preset, machine MachineSpec, seedBase int64) (*svm.Stats, time.Duration) {
-	merged := &svm.Stats{}
-	var total time.Duration
-	for cat := 0; cat < emulator.NumCategories; cat++ {
-		if preset.EmergingCompat[cat] == 0 {
-			continue
-		}
-		sess := workload.NewSession(preset, machine.New, seedBase+int64(cat))
-		spec := workload.DefaultSpec(cat, 0, cfg.Duration)
-		if _, err := workload.RunEmerging(sess.Emulator, spec); err == nil {
-			st := sess.SVMStats()
-			merged.AccessLatency.Merge(&st.AccessLatency)
-			merged.HALAccessLatency.Merge(&st.HALAccessLatency)
-			merged.CoherenceCost.Merge(&st.CoherenceCost)
-			merged.SlackIntervals.Merge(&st.SlackIntervals)
-			merged.RegionSizes.Merge(&st.RegionSizes)
-			merged.BytesAccessed += st.BytesAccessed
-			merged.BytesCoherence += st.BytesCoherence
-			merged.BytesWasted += st.BytesWasted
-			merged.DirectCoherence += st.DirectCoherence
-			merged.GuestCoherence += st.GuestCoherence
-			merged.PredTotal += st.PredTotal
-			merged.PredCorrect += st.PredCorrect
-			merged.SlackError.Merge(&st.SlackError)
-			merged.PrefetchTimeError.Merge(&st.PrefetchTimeError)
-			total += cfg.Duration
-		}
-		sess.Close()
-	}
-	return merged, total
+// mergeStats folds one session's SVM statistics into an aggregate, in the
+// field order the Table 2 mix has always used.
+func mergeStats(merged, st *svm.Stats) {
+	merged.AccessLatency.Merge(&st.AccessLatency)
+	merged.HALAccessLatency.Merge(&st.HALAccessLatency)
+	merged.CoherenceCost.Merge(&st.CoherenceCost)
+	merged.SlackIntervals.Merge(&st.SlackIntervals)
+	merged.RegionSizes.Merge(&st.RegionSizes)
+	merged.BytesAccessed += st.BytesAccessed
+	merged.BytesCoherence += st.BytesCoherence
+	merged.BytesWasted += st.BytesWasted
+	merged.DirectCoherence += st.DirectCoherence
+	merged.GuestCoherence += st.GuestCoherence
+	merged.PredTotal += st.PredTotal
+	merged.PredCorrect += st.PredCorrect
+	merged.SlackError.Merge(&st.SlackError)
+	merged.PrefetchTimeError.Merge(&st.PrefetchTimeError)
 }
 
 // RunTable2 reproduces Table 2: SVM access latency, coherence cost, and
-// throughput for vSoC, GAE, and QEMU-KVM on both machines.
+// throughput for vSoC, GAE, and QEMU-KVM on both machines. Each
+// (machine, emulator, category) session is an independent simulation; they
+// fan out across Config.Workers and merge in loop order.
 func RunTable2(cfg Config) *Table2Result {
-	out := &Table2Result{}
+	machines := []MachineSpec{HighEnd, MidEnd}
 	targets := []emulator.Preset{emulator.VSoC(), emulator.GAE(), emulator.QEMUKVM()}
-	for mi, machine := range []MachineSpec{HighEnd, MidEnd} {
+	type job struct{ mi, ti, cat int }
+	var jobs []job
+	for mi := range machines {
+		for ti := range targets {
+			for cat := 0; cat < emulator.NumCategories; cat++ {
+				if targets[ti].EmergingCompat[cat] == 0 {
+					continue
+				}
+				jobs = append(jobs, job{mi, ti, cat})
+			}
+		}
+	}
+	stats := parmap(cfg.workers(), len(jobs), func(i int) *svm.Stats {
+		j := jobs[i]
+		seed := cfg.Seed + int64(j.mi*1000+j.ti*100) + int64(j.cat)
+		sess := workload.NewSession(targets[j.ti], machines[j.mi].New, seed)
+		defer sess.Close()
+		spec := workload.DefaultSpec(j.cat, 0, cfg.Duration)
+		if _, err := workload.RunEmerging(sess.Emulator, spec); err != nil {
+			return nil
+		}
+		return sess.SVMStats()
+	})
+	out := &Table2Result{}
+	for mi, machine := range machines {
 		for ti, preset := range targets {
-			st, total := runMix(cfg, preset, machine, cfg.Seed+int64(mi*1000+ti*100))
+			merged := &svm.Stats{}
+			var total time.Duration
+			for i, j := range jobs {
+				if j.mi != mi || j.ti != ti || stats[i] == nil {
+					continue
+				}
+				mergeStats(merged, stats[i])
+				total += cfg.Duration
+			}
 			row := SVMPerf{
 				Emulator:        preset.Name,
 				Machine:         machine.Name,
-				AccessLatencyMS: st.HALAccessLatency.Mean(),
-				CoherenceCostMS: st.CoherenceCost.Mean(),
-				DirectShare:     st.DirectShare(),
+				AccessLatencyMS: merged.HALAccessLatency.Mean(),
+				CoherenceCostMS: merged.CoherenceCost.Mean(),
+				DirectShare:     merged.DirectShare(),
 			}
 			if total > 0 {
-				row.ThroughputGBs = st.Throughput(total) / 1e9
+				row.ThroughputGBs = merged.Throughput(total) / 1e9
 			}
 			out.Rows = append(out.Rows, row)
 		}
@@ -113,32 +132,50 @@ type PredictionResult struct {
 // RunPrediction reproduces the §5.2 prediction-accuracy measurements on the
 // high-end machine.
 func RunPrediction(cfg Config) *PredictionResult {
-	out := &PredictionResult{DeviceAccuracy: make(map[string]float64)}
-	var slackErr, pfErr metrics.Distribution
 	preset := emulator.VSoC()
+	type job struct{ cat, app int }
+	type result struct {
+		st   *svm.Stats
+		susp int
+	}
+	var jobs []job
 	for cat := 0; cat < emulator.NumCategories; cat++ {
-		var correct, total, susp int
 		apps := preset.EmergingCompat[cat]
 		if apps > cfg.AppsPerCategory {
 			apps = cfg.AppsPerCategory
 		}
 		for app := 0; app < apps; app++ {
-			sess := workload.NewSession(preset, HighEnd.New, appSeed(cfg.Seed, 400, cat, app))
-			spec := workload.DefaultSpec(cat, app, cfg.Duration)
-			if _, err := workload.RunEmerging(sess.Emulator, spec); err == nil {
-				st := sess.SVMStats()
-				correct += st.PredCorrect
-				total += st.PredTotal
-				susp += sess.Emulator.Manager.Engine().Suspensions()
-				slackErr.Merge(&st.SlackError)
-				pfErr.Merge(&st.PrefetchTimeError)
+			jobs = append(jobs, job{cat, app})
+		}
+	}
+	results := parmap(cfg.workers(), len(jobs), func(i int) result {
+		j := jobs[i]
+		sess := workload.NewSession(preset, HighEnd.New, appSeed(cfg.Seed, 400, j.cat, j.app))
+		defer sess.Close()
+		spec := workload.DefaultSpec(j.cat, j.app, cfg.Duration)
+		if _, err := workload.RunEmerging(sess.Emulator, spec); err != nil {
+			return result{}
+		}
+		return result{st: sess.SVMStats(), susp: sess.Emulator.Manager.Engine().Suspensions()}
+	})
+	out := &PredictionResult{DeviceAccuracy: make(map[string]float64)}
+	var slackErr, pfErr metrics.Distribution
+	for cat := 0; cat < emulator.NumCategories; cat++ {
+		var correct, total int
+		for i, j := range jobs {
+			if j.cat != cat || results[i].st == nil {
+				continue
 			}
-			sess.Close()
+			r := results[i]
+			correct += r.st.PredCorrect
+			total += r.st.PredTotal
+			out.Suspensions += r.susp
+			slackErr.Merge(&r.st.SlackError)
+			pfErr.Merge(&r.st.PrefetchTimeError)
 		}
 		if total > 0 {
 			out.DeviceAccuracy[emulator.CategoryNames[cat]] = float64(correct) / float64(total)
 		}
-		out.Suspensions += susp
 	}
 	out.SlackStdErrMS = slackErr.StdErr()
 	out.PrefetchStdErrMS = pfErr.StdErr()
@@ -190,20 +227,32 @@ type Fig16Result struct {
 // the prefetch engine replaced by write-invalidate, on the video apps whose
 // render threads the coherence blocks.
 func RunFig16(cfg Config) *Fig16Result {
-	var all metrics.Distribution
 	preset := emulator.VSoCNoPrefetch()
+	type job struct{ cat, app int }
+	var jobs []job
 	for _, cat := range []int{emulator.CatUHDVideo, emulator.Cat360Video} {
 		apps := cfg.AppsPerCategory
 		if apps > preset.EmergingCompat[cat] {
 			apps = preset.EmergingCompat[cat]
 		}
 		for app := 0; app < apps; app++ {
-			sess := workload.NewSession(preset, HighEnd.New, appSeed(cfg.Seed, 500, cat, app))
-			spec := workload.DefaultSpec(cat, app, cfg.Duration)
-			if _, err := workload.RunEmerging(sess.Emulator, spec); err == nil {
-				all.Merge(&sess.SVMStats().AccessLatency)
-			}
-			sess.Close()
+			jobs = append(jobs, job{cat, app})
+		}
+	}
+	stats := parmap(cfg.workers(), len(jobs), func(i int) *svm.Stats {
+		j := jobs[i]
+		sess := workload.NewSession(preset, HighEnd.New, appSeed(cfg.Seed, 500, j.cat, j.app))
+		defer sess.Close()
+		spec := workload.DefaultSpec(j.cat, j.app, cfg.Duration)
+		if _, err := workload.RunEmerging(sess.Emulator, spec); err != nil {
+			return nil
+		}
+		return sess.SVMStats()
+	})
+	var all metrics.Distribution
+	for _, st := range stats {
+		if st != nil {
+			all.Merge(&st.AccessLatency)
 		}
 	}
 	return &Fig16Result{

@@ -34,26 +34,45 @@ func RunPopular(cfg Config) *PopularResult {
 	if cfg.PopularApps < len(mix) {
 		mix = mix[:cfg.PopularApps]
 	}
-	out := &PopularResult{Machine: HighEnd.Name}
-	for ei, preset := range presets() {
-		cell := PopularCell{Emulator: preset.Name}
+	emus := presets()
+	type job struct{ ei, app int }
+	type result struct {
+		fps float64
+		ok  bool
+	}
+	var jobs []job
+	for ei := range emus {
 		// Compatibility: the preset runs only PopularCompat of the 25;
 		// scale proportionally for smaller configs.
-		runnable := preset.PopularCompat * len(mix) / 25
+		runnable := emus[ei].PopularCompat * len(mix) / 25
 		if runnable > len(mix) {
 			runnable = len(mix)
 		}
-		var fps float64
 		for app := 0; app < runnable; app++ {
-			kind := mix[app]
-			sess := workload.NewSession(preset, HighEnd.New, appSeed(cfg.Seed, 300+ei, int(kind), app))
-			spec := workload.PopularSpec(kind, app, cfg.Duration)
-			r, err := workload.RunPopular(sess.Emulator, kind, spec)
-			sess.Close()
-			if err != nil {
+			jobs = append(jobs, job{ei, app})
+		}
+	}
+	results := parmap(cfg.workers(), len(jobs), func(i int) result {
+		j := jobs[i]
+		kind := mix[j.app]
+		sess := workload.NewSession(emus[j.ei], HighEnd.New, appSeed(cfg.Seed, 300+j.ei, int(kind), j.app))
+		defer sess.Close()
+		spec := workload.PopularSpec(kind, j.app, cfg.Duration)
+		r, err := workload.RunPopular(sess.Emulator, kind, spec)
+		if err != nil {
+			return result{}
+		}
+		return result{fps: r.FPS, ok: true}
+	})
+	out := &PopularResult{Machine: HighEnd.Name}
+	for ei, preset := range emus {
+		cell := PopularCell{Emulator: preset.Name}
+		var fps float64
+		for i, j := range jobs {
+			if j.ei != ei || !results[i].ok {
 				continue
 			}
-			fps += r.FPS
+			fps += results[i].fps
 			cell.Apps++
 		}
 		if cell.Apps > 0 {

@@ -5,6 +5,7 @@ import (
 
 	"repro/internal/emulator"
 	"repro/internal/metrics"
+	"repro/internal/svm"
 	"repro/internal/workload"
 )
 
@@ -72,33 +73,49 @@ func RunStudy(cfg Config) *StudyResult {
 		{emulator.GAE(), HighEnd},
 		{emulator.QEMUKVM(), HighEnd},
 	}
-	out := &StudyResult{Table1: Table1()}
+	type job struct{ pi, cat, app int }
+	var jobs []job
 	for pi, plat := range platforms {
-		trace := PlatformTrace{Platform: plat.preset.Name}
-		var accesses int
-		var total time.Duration
 		for cat := 0; cat < emulator.NumCategories; cat++ {
 			apps := cfg.AppsPerCategory
 			if apps > plat.preset.EmergingCompat[cat] {
 				apps = plat.preset.EmergingCompat[cat]
 			}
 			for app := 0; app < apps; app++ {
-				sess := workload.NewSession(plat.preset, plat.machine.New, appSeed(cfg.Seed, 600+pi, cat, app))
-				spec := workload.DefaultSpec(cat, app, cfg.Duration)
-				// The §2.3 study ran Full-HD+ panels (2400x1080), which
-				// is where Fig. 4's 9.9 MiB display-buffer mode comes
-				// from; the UHD panels belong to §5's evaluation.
-				spec.DisplayW, spec.DisplayH = workload.FHDPWidth, workload.FHDPHeight
-				if _, err := workload.RunEmerging(sess.Emulator, spec); err == nil {
-					st := sess.SVMStats()
-					trace.RegionSizes.Merge(&st.RegionSizes)
-					trace.CoherenceCost.Merge(&st.CoherenceCost)
-					trace.SlackIntervals.Merge(&st.SlackIntervals)
-					accesses += st.Accesses
-					total += cfg.Duration
-				}
-				sess.Close()
+				jobs = append(jobs, job{pi, cat, app})
 			}
+		}
+	}
+	stats := parmap(cfg.workers(), len(jobs), func(i int) *svm.Stats {
+		j := jobs[i]
+		plat := platforms[j.pi]
+		sess := workload.NewSession(plat.preset, plat.machine.New, appSeed(cfg.Seed, 600+j.pi, j.cat, j.app))
+		defer sess.Close()
+		spec := workload.DefaultSpec(j.cat, j.app, cfg.Duration)
+		// The §2.3 study ran Full-HD+ panels (2400x1080), which is where
+		// Fig. 4's 9.9 MiB display-buffer mode comes from; the UHD panels
+		// belong to §5's evaluation.
+		spec.DisplayW, spec.DisplayH = workload.FHDPWidth, workload.FHDPHeight
+		if _, err := workload.RunEmerging(sess.Emulator, spec); err != nil {
+			return nil
+		}
+		return sess.SVMStats()
+	})
+	out := &StudyResult{Table1: Table1()}
+	for pi, plat := range platforms {
+		trace := PlatformTrace{Platform: plat.preset.Name}
+		var accesses int
+		var total time.Duration
+		for i, j := range jobs {
+			if j.pi != pi || stats[i] == nil {
+				continue
+			}
+			st := stats[i]
+			trace.RegionSizes.Merge(&st.RegionSizes)
+			trace.CoherenceCost.Merge(&st.CoherenceCost)
+			trace.SlackIntervals.Merge(&st.SlackIntervals)
+			accesses += st.Accesses
+			total += cfg.Duration
 		}
 		if total > 0 {
 			trace.APICallsPerSecond = float64(accesses) / total.Seconds()

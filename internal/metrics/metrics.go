@@ -161,10 +161,37 @@ func (d *Distribution) FractionBelow(v float64) float64 {
 // FractionAbove returns the fraction of samples > v.
 func (d *Distribution) FractionAbove(v float64) float64 { return 1 - d.FractionBelow(v) }
 
-// Merge folds other's samples into d.
+// Merge folds other's samples into d, exactly as if each had been passed to
+// Add in insertion order. The result — including the floating-point
+// accumulation order of Sum and Stddev — depends only on the sequence of
+// merged sources, never on when they were computed, which is what lets the
+// parallel experiment runners reproduce the serial path byte for byte.
 func (d *Distribution) Merge(other *Distribution) {
+	if len(other.samples) == 0 {
+		return
+	}
+	if len(d.samples) == 0 || other.min < d.min {
+		d.min = other.min
+	}
+	if len(d.samples) == 0 || other.max > d.max {
+		d.max = other.max
+	}
+	// Accumulate per sample (not d.sum += other.sum) so the FP rounding
+	// matches element-wise Add exactly.
 	for _, v := range other.samples {
-		d.Add(v)
+		d.sum += v
+		d.sumSq += v * v
+	}
+	d.samples = append(d.samples, other.samples...)
+	d.sorted = false
+}
+
+// MergeAll merges each source in argument order, skipping nils.
+func (d *Distribution) MergeAll(srcs ...*Distribution) {
+	for _, s := range srcs {
+		if s != nil {
+			d.Merge(s)
+		}
 	}
 }
 

@@ -1,0 +1,116 @@
+// Package bench microbenchmarks the sim scheduler core in isolation:
+// steady-state event throughput at several queue depths, the same-instant
+// zero-delay path, and timer cancellation churn. Every benchmark reports
+// events/s and allocs/op; the scheduler's contract is ~0 allocs/op once the
+// queues reach steady state.
+//
+// Run with:
+//
+//	go test -bench=. -benchmem ./internal/sim/bench
+package bench_test
+
+import (
+	"testing"
+	"time"
+
+	"repro/internal/sim"
+)
+
+// steadyState keeps `depth` self-rescheduling timers outstanding with
+// staggered periods, so every Step pops one event and pushes one — the hot
+// loop of every hostsim device model.
+func steadyState(b *testing.B, depth int) {
+	env := sim.NewEnv(1)
+	defer env.Close()
+	for i := 0; i < depth; i++ {
+		d := time.Microsecond * time.Duration(1+i%97)
+		var fn func()
+		fn = func() { env.After(d, fn) }
+		env.After(d, fn)
+	}
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		env.Step()
+	}
+	b.StopTimer()
+	b.ReportMetric(float64(b.N)/b.Elapsed().Seconds(), "events/s")
+}
+
+func BenchmarkSteadyState16(b *testing.B)   { steadyState(b, 16) }
+func BenchmarkSteadyState256(b *testing.B)  { steadyState(b, 256) }
+func BenchmarkSteadyState4096(b *testing.B) { steadyState(b, 4096) }
+
+// BenchmarkZeroDelay measures the same-instant path: a zero-delay callback
+// rescheduling itself never advances the clock, the pattern behind Yield and
+// signal-at-now wakeups.
+func BenchmarkZeroDelay(b *testing.B) {
+	env := sim.NewEnv(1)
+	defer env.Close()
+	var fn func()
+	fn = func() { env.After(0, fn) }
+	env.After(0, fn)
+	// A far-future event keeps the heap non-trivial so the fast path is
+	// measured against a populated queue.
+	env.After(time.Hour, func() {})
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		env.Step()
+	}
+	b.StopTimer()
+	b.ReportMetric(float64(b.N)/b.Elapsed().Seconds(), "events/s")
+}
+
+// BenchmarkTimerStop measures the schedule/stop cycle of cancellable
+// timeouts — the guard-timer pattern of Event.WaitTimeout, where almost
+// every timer is cancelled before it fires.
+func BenchmarkTimerStop(b *testing.B) {
+	env := sim.NewEnv(1)
+	defer env.Close()
+	tick := func() {}
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		t := env.AfterFunc(time.Millisecond, tick)
+		t.Stop()
+		env.RunFor(time.Microsecond)
+	}
+	b.StopTimer()
+	b.ReportMetric(float64(b.N)/b.Elapsed().Seconds(), "events/s")
+}
+
+// BenchmarkWaitTimeoutSignaled measures the fired path of WaitTimeout: the
+// event signals in time, the guard timer is stopped, and neither side may
+// leak queue entries.
+func BenchmarkWaitTimeoutSignaled(b *testing.B) {
+	env := sim.NewEnv(1)
+	defer env.Close()
+	n := b.N
+	evs := make(chan *sim.Event, 1)
+	env.Spawn("waiter", func(p *sim.Proc) {
+		for i := 0; i < n; i++ {
+			ev := sim.NewEvent(env)
+			evs <- ev
+			if !ev.WaitTimeout(p, time.Second) {
+				b.Error("unexpected timeout")
+				return
+			}
+		}
+	})
+	env.Spawn("signaler", func(p *sim.Proc) {
+		for i := 0; i < n; i++ {
+			p.Sleep(time.Microsecond)
+			(<-evs).Signal()
+		}
+	})
+	b.ReportAllocs()
+	b.ResetTimer()
+	for env.Step() {
+	}
+	b.StopTimer()
+	if got := env.PendingEvents(); got != 0 {
+		b.Fatalf("PendingEvents = %d after drain, want 0 (leaked timers?)", got)
+	}
+	b.ReportMetric(float64(b.N)/b.Elapsed().Seconds(), "waits/s")
+}

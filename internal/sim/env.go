@@ -1,7 +1,6 @@
 package sim
 
 import (
-	"container/heap"
 	"fmt"
 	"math/rand"
 	"time"
@@ -12,60 +11,87 @@ import (
 type Time = time.Duration
 
 // event is a scheduled occurrence: either the resumption of a parked process
-// or a plain callback executed in scheduler context.
+// or a callback executed in scheduler context. Events are plain values,
+// stored inline in the scheduler's 4-ary heap and same-instant FIFO ring, so
+// steady-state scheduling allocates nothing.
 type event struct {
 	at   Time
 	seq  uint64 // tie-breaker: FIFO among events at the same instant
 	proc *Proc  // non-nil: resume this process
 	fn   func() // non-nil: run this callback in scheduler context
-	idx  int    // heap index
+	tmr  *timerRec
 }
 
-type eventHeap []*event
-
-func (h eventHeap) Len() int { return len(h) }
-
-func (h eventHeap) Less(i, j int) bool {
-	if h[i].at != h[j].at {
-		return h[i].at < h[j].at
+// eventBefore is the scheduling order: earliest timestamp first, FIFO within
+// one instant.
+func eventBefore(a, b *event) bool {
+	if a.at != b.at {
+		return a.at < b.at
 	}
-	return h[i].seq < h[j].seq
+	return a.seq < b.seq
 }
 
-func (h eventHeap) Swap(i, j int) {
-	h[i], h[j] = h[j], h[i]
-	h[i].idx = i
-	h[j].idx = j
+// timerRec is the cancellation record behind a Timer handle. Records are
+// recycled through the Env's free list; the generation counter invalidates
+// stale handles to recycled records.
+type timerRec struct {
+	gen       uint64
+	cancelled bool
+	fn        func()
+	next      *timerRec // free-list link
 }
 
-func (h *eventHeap) Push(x any) {
-	e := x.(*event)
-	e.idx = len(*h)
-	*h = append(*h, e)
+// Timer is a handle on a pending AfterFunc callback.
+type Timer struct {
+	env *Env
+	rec *timerRec
+	gen uint64
 }
 
-func (h *eventHeap) Pop() any {
-	old := *h
-	n := len(old)
-	e := old[n-1]
-	old[n-1] = nil
-	*h = old[:n-1]
-	return e
+// Stop cancels the callback, reporting whether it was still pending. A
+// stopped callback never runs; its closure is released immediately and the
+// queue slot is reclaimed lazily as the scheduler reaches it.
+func (t Timer) Stop() bool {
+	if t.rec == nil || t.rec.gen != t.gen || t.rec.cancelled {
+		return false
+	}
+	t.rec.cancelled = true
+	t.rec.fn = nil
+	t.env.dead++
+	return true
+}
+
+// Pending reports whether the callback has yet to fire or be stopped.
+func (t Timer) Pending() bool {
+	return t.rec != nil && t.rec.gen == t.gen && !t.rec.cancelled
 }
 
 // Env is a simulation environment: a virtual clock, an event queue, and the
 // set of live processes. An Env is not safe for concurrent use; all calls
 // must come either from process context or from the single goroutine driving
 // Run/RunUntil/Step.
+//
+// The event queue is two structures: a 4-ary min-heap of future events and a
+// FIFO ring for events scheduled at the current instant (Yield, zero-delay
+// wakeups), which bypass the heap entirely. Heap entries at the current
+// instant always predate — and therefore run before — every ring entry, so
+// the combined order is exactly the (timestamp, sequence) order a single
+// heap would produce.
 type Env struct {
-	now     Time
-	events  eventHeap
-	seq     uint64
-	procs   map[*Proc]struct{}
-	rng     *rand.Rand
-	sched   chan struct{} // process -> scheduler rendezvous
-	current *Proc         // process currently executing, if any
-	closed  bool
+	now      Time
+	heap     []event // future events, 4-ary min-heap by (at, seq)
+	fifo     []event // events at the current instant, FIFO from fifoHead
+	fifoHead int
+	seq      uint64
+	dead     int // stopped timers still buried in the queues
+	procs    map[*Proc]struct{}
+	rng      *rand.Rand
+	sched    chan struct{} // process -> scheduler rendezvous
+	current  *Proc         // process currently executing, if any
+	closed   bool
+
+	timerFree  *timerRec // recycled cancellation records
+	waiterFree *waiter   // recycled park registrations
 }
 
 // NewEnv returns a fresh environment whose clock reads zero. The seed fixes
@@ -85,14 +111,23 @@ func (e *Env) Now() Time { return e.now }
 func (e *Env) Rand() *rand.Rand { return e.rng }
 
 // schedule inserts an event at absolute time at (clamped to now).
-func (e *Env) schedule(at Time, p *Proc, fn func()) *event {
-	if at < e.now {
-		at = e.now
+func (e *Env) schedule(at Time, p *Proc, fn func()) {
+	e.push(event{at: at, proc: p, fn: fn})
+}
+
+func (e *Env) push(ev event) {
+	if ev.at < e.now {
+		ev.at = e.now
 	}
-	ev := &event{at: at, seq: e.seq, proc: p, fn: fn}
+	ev.seq = e.seq
 	e.seq++
-	heap.Push(&e.events, ev)
-	return ev
+	if ev.at == e.now {
+		// Same-instant fast path: the ring preserves FIFO order and skips
+		// the heap's sift entirely.
+		e.fifo = append(e.fifo, ev)
+		return
+	}
+	e.heapPush(ev)
 }
 
 // After schedules fn to run in scheduler context d from now. It may be called
@@ -104,15 +139,144 @@ func (e *Env) After(d Time, fn func()) {
 	e.schedule(e.now+d, nil, fn)
 }
 
+// AfterFunc schedules fn like After and returns a Timer that can cancel it.
+// The cancellation record comes from a free list, so the steady-state
+// schedule/fire/stop cycle does not allocate.
+func (e *Env) AfterFunc(d Time, fn func()) Timer {
+	if fn == nil {
+		panic("sim: AfterFunc with nil callback")
+	}
+	rec := e.allocTimer()
+	rec.fn = fn
+	e.push(event{at: e.now + d, tmr: rec})
+	return Timer{env: e, rec: rec, gen: rec.gen}
+}
+
+func (e *Env) allocTimer() *timerRec {
+	if r := e.timerFree; r != nil {
+		e.timerFree = r.next
+		r.next = nil
+		return r
+	}
+	return &timerRec{}
+}
+
+// releaseTimer recycles a record once its event leaves the queue, bumping
+// the generation so outstanding handles go stale.
+func (e *Env) releaseTimer(r *timerRec) {
+	r.gen++
+	r.cancelled = false
+	r.fn = nil
+	r.next = e.timerFree
+	e.timerFree = r
+}
+
+// getWaiter recycles or allocates a park registration.
+func (e *Env) getWaiter(p *Proc) *waiter {
+	if w := e.waiterFree; w != nil {
+		e.waiterFree = w.next
+		w.p, w.woke, w.timedOut, w.next = p, false, false, nil
+		return w
+	}
+	return &waiter{p: p}
+}
+
+// putWaiter returns a registration to the free list. Callers must guarantee
+// no wait list or timer closure still references it.
+func (e *Env) putWaiter(w *waiter) {
+	w.p = nil
+	w.next = e.waiterFree
+	e.waiterFree = w
+}
+
+// prune discards stopped timer events sitting at the head of either queue so
+// peeks and pops only ever see live events. With no stopped timers buried
+// (the overwhelmingly common case) it is a single counter check.
+func (e *Env) prune() {
+	if e.dead == 0 {
+		return
+	}
+	for e.fifoHead < len(e.fifo) {
+		ev := &e.fifo[e.fifoHead]
+		if ev.tmr == nil || !ev.tmr.cancelled {
+			break
+		}
+		e.releaseTimer(ev.tmr)
+		e.dead--
+		*ev = event{}
+		e.fifoHead++
+	}
+	if e.fifoHead == len(e.fifo) && len(e.fifo) > 0 {
+		e.fifo = e.fifo[:0]
+		e.fifoHead = 0
+	}
+	for len(e.heap) > 0 && e.heap[0].tmr != nil && e.heap[0].tmr.cancelled {
+		ev := e.heapPop()
+		e.releaseTimer(ev.tmr)
+		e.dead--
+	}
+}
+
+// pop removes the earliest live event. Heap entries at the current instant
+// carry smaller sequence numbers than anything in the ring (they were pushed
+// before the clock reached now), so they drain first.
+func (e *Env) pop() (event, bool) {
+	e.prune()
+	if e.fifoHead < len(e.fifo) {
+		if len(e.heap) > 0 && e.heap[0].at <= e.now {
+			return e.heapPop(), true
+		}
+		ev := e.fifo[e.fifoHead]
+		e.fifo[e.fifoHead] = event{}
+		e.fifoHead++
+		if e.fifoHead == len(e.fifo) {
+			e.fifo = e.fifo[:0]
+			e.fifoHead = 0
+		}
+		return ev, true
+	}
+	if len(e.heap) > 0 {
+		return e.heapPop(), true
+	}
+	return event{}, false
+}
+
+// nextAt returns the timestamp of the earliest live event.
+func (e *Env) nextAt() (Time, bool) {
+	e.prune()
+	if e.fifoHead < len(e.fifo) {
+		return e.now, true
+	}
+	if len(e.heap) > 0 {
+		return e.heap[0].at, true
+	}
+	return 0, false
+}
+
 // Step executes the earliest pending event, advancing the clock to its
 // timestamp. It reports whether an event was executed.
 func (e *Env) Step() bool {
-	if e.closed || len(e.events) == 0 {
+	if e.closed {
 		return false
 	}
-	ev := heap.Pop(&e.events).(*event)
+	var ev event
+	if e.fifoHead == len(e.fifo) && e.dead == 0 {
+		// Hot path: nothing at the current instant, no buried cancellations.
+		if len(e.heap) == 0 {
+			return false
+		}
+		ev = e.heapPop()
+	} else if popped, ok := e.pop(); ok {
+		ev = popped
+	} else {
+		return false
+	}
 	e.now = ev.at
 	switch {
+	case ev.tmr != nil:
+		fn := ev.tmr.fn
+		e.releaseTimer(ev.tmr)
+		fn()
 	case ev.proc != nil:
 		e.resume(ev.proc, resumeOK)
 	case ev.fn != nil:
@@ -131,7 +295,11 @@ func (e *Env) Run() {
 // RunUntil executes every event scheduled at or before t, then advances the
 // clock to exactly t.
 func (e *Env) RunUntil(t Time) {
-	for len(e.events) > 0 && e.events[0].at <= t && !e.closed {
+	for !e.closed {
+		at, ok := e.nextAt()
+		if !ok || at > t {
+			break
+		}
 		e.Step()
 	}
 	if e.now < t {
@@ -142,15 +310,21 @@ func (e *Env) RunUntil(t Time) {
 // RunFor advances the simulation by d from the current instant.
 func (e *Env) RunFor(d Time) { e.RunUntil(e.now + d) }
 
-// Idle reports whether no events remain.
-func (e *Env) Idle() bool { return len(e.events) == 0 }
+// Idle reports whether no live events remain.
+func (e *Env) Idle() bool { return e.PendingEvents() == 0 }
 
-// PendingEvents returns the number of scheduled events (for tests).
-func (e *Env) PendingEvents() int { return len(e.events) }
+// PendingEvents returns the number of live scheduled events; stopped timers
+// awaiting lazy reclamation are not counted.
+func (e *Env) PendingEvents() int {
+	return len(e.heap) + (len(e.fifo) - e.fifoHead) - e.dead
+}
 
 // Close aborts every live process so their goroutines exit, and discards all
-// pending events. The environment is unusable afterwards. Close is the
-// cleanup counterpart of NewEnv and is safe to call multiple times.
+// pending events. Events are discarded before the processes unwind so stale
+// resume entries cannot pin aborted processes, and once more afterwards to
+// drop any wakeups scheduled by unwinding defers. The environment is
+// unusable afterwards. Close is the cleanup counterpart of NewEnv and is
+// safe to call multiple times.
 func (e *Env) Close() {
 	if e.closed {
 		return
@@ -159,6 +333,7 @@ func (e *Env) Close() {
 		panic("sim: Close called from process context")
 	}
 	e.closed = true
+	e.discardEvents()
 	for p := range e.procs {
 		if p.state == procDone {
 			continue
@@ -166,7 +341,16 @@ func (e *Env) Close() {
 		e.resume(p, resumeAbort)
 	}
 	e.procs = map[*Proc]struct{}{}
-	e.events = nil
+	e.discardEvents()
+}
+
+func (e *Env) discardEvents() {
+	e.heap = nil
+	e.fifo = nil
+	e.fifoHead = 0
+	e.dead = 0
+	e.timerFree = nil
+	e.waiterFree = nil
 }
 
 // resume hands control to p and blocks until p parks again or terminates.
@@ -191,5 +375,6 @@ func (e *Env) currentProc() *Proc {
 }
 
 func (e *Env) String() string {
-	return fmt.Sprintf("sim.Env{now: %v, events: %d, procs: %d}", e.now, len(e.events), len(e.procs))
+	return fmt.Sprintf("sim.Env{now: %v, events: %d, procs: %d}",
+		e.now, e.PendingEvents(), len(e.procs))
 }

@@ -3,10 +3,13 @@ package sim
 // waiter records one parked process awaiting a wakeup. The woke flag ensures
 // a process receives at most one resume per registration even when several
 // wake sources race at the same instant (e.g. a signal and a timeout).
+// Waiters are recycled through the Env's free list once their registration
+// is provably unreferenced.
 type waiter struct {
 	p        *Proc
 	woke     bool
 	timedOut bool
+	next     *waiter // free-list link
 }
 
 // Event is a one-shot broadcast: processes wait until some party signals,
@@ -42,31 +45,54 @@ func (ev *Event) Signal() {
 	ev.waiters = nil
 }
 
+// removeWaiter drops one registration, preserving the FIFO order of the
+// rest.
+func (ev *Event) removeWaiter(w *waiter) {
+	for i, x := range ev.waiters {
+		if x == w {
+			ev.waiters = append(ev.waiters[:i], ev.waiters[i+1:]...)
+			return
+		}
+	}
+}
+
 // Wait blocks p until the event fires. Returns immediately if already fired.
 func (ev *Event) Wait(p *Proc) {
 	if ev.fired {
 		return
 	}
-	w := &waiter{p: p}
+	w := ev.env.getWaiter(p)
 	ev.waiters = append(ev.waiters, w)
 	p.park()
+	ev.env.putWaiter(w)
 }
 
 // WaitTimeout blocks p until the event fires or d elapses. It reports true
-// when the event fired, false on timeout.
+// when the event fired, false on timeout. Whichever path loses is torn down
+// eagerly: a fired event stops its timeout timer, and a timeout removes the
+// waiter from the event's list, so neither outcome leaves the other
+// registration pinning memory or inflating PendingEvents.
 func (ev *Event) WaitTimeout(p *Proc, d Time) bool {
 	if ev.fired {
 		return true
 	}
-	w := &waiter{p: p}
+	w := ev.env.getWaiter(p)
 	ev.waiters = append(ev.waiters, w)
-	ev.env.After(d, func() {
+	t := ev.env.AfterFunc(d, func() {
 		if !w.woke {
 			w.woke = true
 			w.timedOut = true
+			ev.removeWaiter(w)
 			ev.env.schedule(ev.env.now, w.p, nil)
 		}
 	})
 	p.park()
-	return !w.timedOut
+	timedOut := w.timedOut
+	if !timedOut {
+		t.Stop()
+	}
+	// The timer either fired or was stopped, so its closure — the only
+	// other reference to w — is gone and the registration can be recycled.
+	ev.env.putWaiter(w)
+	return !timedOut
 }

@@ -34,9 +34,10 @@ func (q *Queue[T]) wakeOne(ws *[]*waiter) {
 // Put appends v, blocking while a bounded queue is full.
 func (q *Queue[T]) Put(p *Proc, v T) {
 	for q.cap > 0 && len(q.items) >= q.cap {
-		w := &waiter{p: p}
+		w := q.env.getWaiter(p)
 		q.putWaiters = append(q.putWaiters, w)
 		p.park()
+		q.env.putWaiter(w) // woken waiters have left the wait list
 	}
 	q.items = append(q.items, v)
 	q.wakeOne(&q.getWaiters)
@@ -55,9 +56,10 @@ func (q *Queue[T]) TryPut(v T) bool {
 // Get removes and returns the head item, blocking while the queue is empty.
 func (q *Queue[T]) Get(p *Proc) T {
 	for len(q.items) == 0 {
-		w := &waiter{p: p}
+		w := q.env.getWaiter(p)
 		q.getWaiters = append(q.getWaiters, w)
 		p.park()
+		q.env.putWaiter(w) // woken waiters have left the wait list
 	}
 	v := q.items[0]
 	q.items = q.items[1:]
