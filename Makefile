@@ -4,7 +4,7 @@
 
 GO ?= go
 
-.PHONY: check build vet test race bench-smoke verify
+.PHONY: check build vet test race bench-smoke chaos-smoke verify
 
 check: vet build test
 
@@ -28,4 +28,11 @@ race:
 bench-smoke:
 	$(GO) test -run=NONE -bench='SteadyState|ZeroDelay' -benchtime=10000x -benchmem ./internal/sim/bench
 
-verify: check race bench-smoke
+# Fault-injection gate: the faults package under the race detector, plus one
+# short seeded robustness sweep so the degradation/recovery story stays
+# visible end to end.
+chaos-smoke:
+	$(GO) test -race ./internal/faults/... ./internal/fence/...
+	$(GO) run ./cmd/vsocbench -exp robustness -duration 12s
+
+verify: check race bench-smoke chaos-smoke

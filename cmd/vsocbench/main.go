@@ -25,7 +25,7 @@ import (
 )
 
 func main() {
-	exp := flag.String("exp", "all", "experiment to run (all, table1, table2, fig10-fig16, prediction, overhead, popablation, services, protocols, thermal, resolution)")
+	exp := flag.String("exp", "all", "experiment to run (all, table1, table2, fig10-fig16, prediction, overhead, popablation, services, protocols, thermal, resolution, robustness)")
 	duration := flag.Duration("duration", 30*time.Second, "simulated duration per app")
 	apps := flag.Int("apps", 10, "apps per emerging category")
 	popular := flag.Int("popular", 25, "popular apps to run")
@@ -109,11 +109,14 @@ func main() {
 	run("resolution", func() {
 		fmt.Print(experiments.FormatResolution(experiments.RunResolutionSweep(cfg)))
 	})
+	run("robustness", func() {
+		fmt.Print(experiments.FormatRobustness(experiments.RunRobustness(cfg)))
+	})
 
 	switch *exp {
 	case "all", "table1", "table2", "fig10", "fig11", "fig12", "fig13", "fig14",
 		"fig15", "fig16", "prediction", "overhead", "popablation",
-		"services", "protocols", "thermal", "resolution":
+		"services", "protocols", "thermal", "resolution", "robustness":
 	default:
 		fmt.Fprintf(os.Stderr, "unknown experiment %q\n", *exp)
 		flag.Usage()

@@ -11,6 +11,7 @@
 package device
 
 import (
+	"errors"
 	"fmt"
 	"time"
 
@@ -61,6 +62,11 @@ type Config struct {
 	// applies to GPU context switches precisely to avoid driver stalls.
 	CtxSwitchSync     time.Duration
 	CtxSwitchDeferred time.Duration
+	// WatchdogTimeout bounds how long the host executor waits on a wait
+	// fence before giving up and proceeding (GPU-hang recovery): a stalled
+	// signaling device then surfaces as a counted, diagnosable timeout
+	// instead of a hung pipeline. Zero waits forever.
+	WatchdogTimeout time.Duration
 }
 
 // DefaultConfig returns a vSoC-style device configuration.
@@ -128,6 +134,12 @@ type Stats struct {
 	FenceWaits int
 	AtomicOps  int
 	IRQs       int
+	// FenceTimeouts counts wait fences abandoned by the watchdog.
+	FenceTimeouts int
+	// DroppedOps counts ops whose SVM access raced a Free and was dropped
+	// (the graceful-degradation path: execution continues, the commit is
+	// skipped).
+	DroppedOps int
 }
 
 // Device is one virtual device: guest driver state plus the host executor.
@@ -256,7 +268,7 @@ func (d *Device) Submit(p *sim.Proc, op Op) *Ticket {
 			d.mimd.Acquire(p)
 		}
 		// Batched commands share one kick; only marshaling scales.
-		p.Sleep(time.Duration(extra) * d.cfg.Transport.PerCommandCost)
+		p.Sleep(d.cfg.Transport.Scaled(time.Duration(extra) * d.cfg.Transport.PerCommandCost))
 		d.ring.Dispatch(p, cmd)
 		if op.Kind == OpWrite {
 			if comp := d.mgr.PredictCompensation(op.Region, d.Accessor(), op.Bytes); comp > 0 {
@@ -267,8 +279,8 @@ func (d *Device) Submit(p *sim.Proc, op Op) *Ticket {
 		// Guest-side ordering: op.After already completed because its
 		// submission blocked. Each constituent command costs a full
 		// guest-host round trip before the final dispatch-and-wait.
-		p.Sleep(time.Duration(extra) *
-			(d.cfg.Transport.PerCommandCost + d.cfg.Transport.KickCost + d.cfg.Transport.IRQCost))
+		p.Sleep(d.cfg.Transport.Scaled(time.Duration(extra) *
+			(d.cfg.Transport.PerCommandCost + d.cfg.Transport.KickCost + d.cfg.Transport.IRQCost)))
 		d.ring.Dispatch(p, cmd)
 		cmd.Done.Wait(p)
 		d.stats.AtomicOps++
@@ -282,7 +294,7 @@ func (d *Device) Submit(p *sim.Proc, op Op) *Ticket {
 			// of the predecessor.
 			op.After.Ready.Wait(p)
 		}
-		p.Sleep(time.Duration(extra) * (d.cfg.Transport.PerCommandCost + d.cfg.Transport.KickCost))
+		p.Sleep(d.cfg.Transport.Scaled(time.Duration(extra) * (d.cfg.Transport.PerCommandCost + d.cfg.Transport.KickCost)))
 		d.ring.Dispatch(p, cmd)
 	}
 	return t
@@ -294,7 +306,13 @@ func (d *Device) hostLoop(p *sim.Proc) {
 		ho := cmd.Payload.(*hostOp)
 		if ho.waitFence != nil {
 			d.stats.FenceWaits++
-			ho.waitFence.Wait(p)
+			if wd := d.cfg.WatchdogTimeout; wd > 0 {
+				if !ho.waitFence.WaitTimeout(p, wd) {
+					d.stats.FenceTimeouts++
+				}
+			} else {
+				ho.waitFence.Wait(p)
+			}
 		}
 		d.execute(p, ho)
 		cmd.Done.Signal()
@@ -323,28 +341,40 @@ func (d *Device) execute(p *sim.Proc, ho *hostOp) {
 	}
 	switch op.Kind {
 	case OpWrite:
-		a, err := d.mgr.BeginAccess(p, op.Region, d.Accessor(), svm.UsageWrite, op.Bytes)
-		if err != nil {
-			panic(fmt.Sprintf("device %s: write begin: %v", d.Name, err))
-		}
-		d.host.Exec(p, op.Exec)
-		if _, err := a.End(p); err != nil {
-			panic(fmt.Sprintf("device %s: write end: %v", d.Name, err))
-		}
+		d.accessExec(p, op, svm.UsageWrite)
 	case OpRead:
-		a, err := d.mgr.BeginAccess(p, op.Region, d.Accessor(), svm.UsageRead, op.Bytes)
-		if err != nil {
-			panic(fmt.Sprintf("device %s: read begin: %v", d.Name, err))
-		}
-		d.host.Exec(p, op.Exec)
-		if _, err := a.End(p); err != nil {
-			panic(fmt.Sprintf("device %s: read end: %v", d.Name, err))
-		}
+		d.accessExec(p, op, svm.UsageRead)
 	case OpExec:
 		d.host.Exec(p, op.Exec)
 	}
 	if op.OnComplete != nil {
 		op.OnComplete(p.Now())
+	}
+}
+
+// accessExec runs an SVM-touching op. An access that races a guest Free —
+// the region vanished before begin, or mid-access before the write could
+// commit — is dropped rather than fatal: the device still burns its
+// execution slot (the command stream already carried the work), the commit
+// is skipped, and the drop is counted. Any other SVM error is a protocol
+// bug and panics.
+func (d *Device) accessExec(p *sim.Proc, op Op, usage svm.Usage) {
+	a, err := d.mgr.BeginAccess(p, op.Region, d.Accessor(), usage, op.Bytes)
+	if err != nil {
+		if errors.Is(err, svm.ErrFreed) || errors.Is(err, svm.ErrUnknownRegion) {
+			d.stats.DroppedOps++
+			d.host.Exec(p, op.Exec)
+			return
+		}
+		panic(fmt.Sprintf("device %s: %s begin: %v", d.Name, opName(op.Kind), err))
+	}
+	d.host.Exec(p, op.Exec)
+	if _, err := a.End(p); err != nil {
+		if errors.Is(err, svm.ErrFreed) {
+			d.stats.DroppedOps++
+			return
+		}
+		panic(fmt.Sprintf("device %s: %s end: %v", d.Name, opName(op.Kind), err))
 	}
 }
 

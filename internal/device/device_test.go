@@ -38,6 +38,12 @@ func newRig(t *testing.T, mode OrderingMode) *rig {
 }
 
 func newRigSeeded(t *testing.T, mode OrderingMode, seed int64) *rig {
+	cfg := DefaultConfig()
+	cfg.Mode = mode
+	return newRigCfg(t, cfg, seed)
+}
+
+func newRigCfg(t *testing.T, cfg Config, seed int64) *rig {
 	t.Helper()
 	env := sim.NewEnv(seed)
 	mach := hostsim.HighEndDesktop(env)
@@ -48,8 +54,6 @@ func newRigSeeded(t *testing.T, mode OrderingMode, seed int64) *rig {
 	mgr.RegisterPhysicalDevice(pGPU, "gpu", mach.VRAM)
 	mgr.RegisterPhysicalDevice(pCPU, "cpu", mach.DRAM)
 
-	cfg := DefaultConfig()
-	cfg.Mode = mode
 	ftab := fence.NewTable(env)
 	rg := &rig{
 		env:   env,
@@ -377,5 +381,104 @@ func TestRemapMidStreamPrefetchAdapts(t *testing.T) {
 	if _, ok := tw.Physical.Lookup(
 		[]hypergraph.NodeID{pCPU}, []hypergraph.NodeID{pGPU}); !ok {
 		t.Fatal("missing post-remap physical flow")
+	}
+}
+
+func TestWatchdogUnblocksWaiterOnStalledDevice(t *testing.T) {
+	cfg := DefaultConfig()
+	cfg.Mode = ModeFence
+	cfg.WatchdogTimeout = 20 * ms
+	rg := newRigCfg(t, cfg, 3)
+	r, _ := rg.mgr.Alloc(hostsim.MiB)
+
+	// Hang the physical GPU: its queued op can never execute, so the
+	// fence the dependent codec op waits on never retires.
+	stuck := sim.NewEvent(rg.env)
+	rg.mach.GPU.Stall(stuck)
+
+	rg.env.Spawn("driver", func(p *sim.Proc) {
+		a := rg.gpu.Submit(p, Op{Kind: OpExec, Exec: ms})
+		rg.codec.Submit(p, Op{Kind: OpWrite, Region: r.ID, Exec: ms, After: a})
+	})
+	rg.env.RunUntil(time.Second)
+
+	if got := rg.codec.Stats().FenceTimeouts; got != 1 {
+		t.Fatalf("FenceTimeouts = %d, want 1", got)
+	}
+	if got := rg.codec.Stats().Executed; got != 1 {
+		t.Fatalf("codec Executed = %d, want 1 (watchdog must let the op proceed)", got)
+	}
+	if got := rg.gpu.Stats().Executed; got != 0 {
+		t.Fatalf("gpu Executed = %d, want 0 while stalled", got)
+	}
+}
+
+func TestNoWatchdogWaitsOutTheStall(t *testing.T) {
+	// With the watchdog disabled (the evaluation default) the dependent op
+	// waits for the real signal: release the stall mid-run and everything
+	// completes with no timeout counted.
+	rg := newRig(t, ModeFence)
+	r, _ := rg.mgr.Alloc(hostsim.MiB)
+
+	release := sim.NewEvent(rg.env)
+	rg.mach.GPU.Stall(release)
+	rg.env.After(100*ms, release.Signal)
+
+	rg.env.Spawn("driver", func(p *sim.Proc) {
+		a := rg.gpu.Submit(p, Op{Kind: OpExec, Exec: ms})
+		rg.codec.Submit(p, Op{Kind: OpWrite, Region: r.ID, Exec: ms, After: a})
+	})
+	rg.env.RunUntil(time.Second)
+
+	if got := rg.codec.Stats().FenceTimeouts; got != 0 {
+		t.Fatalf("FenceTimeouts = %d, want 0", got)
+	}
+	if rg.codec.Stats().Executed != 1 || rg.gpu.Stats().Executed != 1 {
+		t.Fatalf("Executed codec=%d gpu=%d, want 1/1 after stall release",
+			rg.codec.Stats().Executed, rg.gpu.Stats().Executed)
+	}
+}
+
+func TestOpOnRegionFreedMidExecutionIsDropped(t *testing.T) {
+	rg := newRig(t, ModeFence)
+	r, _ := rg.mgr.Alloc(16 * hostsim.MiB)
+
+	rg.env.Spawn("driver", func(p *sim.Proc) {
+		rg.codec.Submit(p, Op{Kind: OpWrite, Region: r.ID, Exec: 10 * ms})
+	})
+	rg.env.After(5*ms, func() {
+		if err := rg.mgr.Free(r.ID); err != nil {
+			t.Errorf("Free: %v", err)
+		}
+	})
+	rg.env.RunUntil(time.Second)
+
+	st := rg.codec.Stats()
+	if st.DroppedOps != 1 {
+		t.Fatalf("DroppedOps = %d, want 1", st.DroppedOps)
+	}
+	if st.Executed != 1 {
+		t.Fatalf("Executed = %d, want 1 (host loop must survive the drop)", st.Executed)
+	}
+}
+
+func TestOpOnAlreadyFreedRegionIsDropped(t *testing.T) {
+	rg := newRig(t, ModeFence)
+	r, _ := rg.mgr.Alloc(hostsim.MiB)
+	if err := rg.mgr.Free(r.ID); err != nil {
+		t.Fatal(err)
+	}
+
+	rg.env.Spawn("driver", func(p *sim.Proc) {
+		rg.codec.Submit(p, Op{Kind: OpWrite, Region: r.ID, Exec: ms})
+	})
+	rg.env.RunUntil(time.Second)
+
+	st := rg.codec.Stats()
+	if st.DroppedOps != 1 {
+		t.Fatalf("DroppedOps = %d, want 1", st.DroppedOps)
+	}
+	if st.Executed != 1 {
+		t.Fatalf("Executed = %d, want 1", st.Executed)
 	}
 }

@@ -22,6 +22,7 @@ import (
 	"repro/internal/hypergraph"
 	"repro/internal/sim"
 	"repro/internal/svm"
+	"repro/internal/virtio"
 )
 
 // Categories of emerging apps (Table 1), indexing EmergingCompat.
@@ -65,6 +66,12 @@ type Preset struct {
 	CodecCostFactor float64
 	ISPCostFactor   float64
 
+	// DeviceWatchdog, when nonzero, bounds how long host executors wait on
+	// a wait fence before proceeding (GPU-hang recovery). Robustness runs
+	// set it so an injected device stall surfaces as counted fence
+	// timeouts; the evaluation presets leave it zero (wait forever).
+	DeviceWatchdog time.Duration
+
 	// CameraFPSCap bounds the virtual camera's delivery rate; host webcam
 	// passthrough stacks commonly negotiate UHD at 30 FPS, while vSoC's
 	// paravirtual camera streams the sensor's full 60 FPS (§5.1's UHD60
@@ -90,6 +97,10 @@ type Emulator struct {
 	HAL     *svm.Module
 	Fences  *fence.Table
 	VSync   *guest.VSync
+	// Transport is the dynamic cost multiplier shared by every virtio ring
+	// and IRQ line of this instance; the fault layer drives it to inject
+	// kick/IRQ latency spikes.
+	Transport *virtio.CostScale
 
 	GPU     *device.Device
 	Display *device.Device
@@ -121,17 +132,21 @@ func New(env *sim.Env, mach *hostsim.Machine, p Preset) *Emulator {
 	mgr.RegisterPhysicalDevice(PCodecHost, physicalNames[PCodecHost], mach.DRAM)
 
 	ftab := fence.NewTable(env)
+	scale := virtio.NewCostScale()
 	dcfg := device.DefaultConfig()
 	dcfg.Mode = p.Ordering
 	dcfg.UseFlowControl = p.UseFlowControl
+	dcfg.WatchdogTimeout = p.DeviceWatchdog
+	dcfg.Transport.Scale = scale
 
 	e := &Emulator{
-		Preset:  p,
-		Env:     env,
-		Machine: mach,
-		Manager: mgr,
-		Fences:  ftab,
-		VSync:   guest.NewVSync(env, VSyncPeriod),
+		Preset:    p,
+		Env:       env,
+		Machine:   mach,
+		Manager:   mgr,
+		Fences:    ftab,
+		VSync:     guest.NewVSync(env, VSyncPeriod),
+		Transport: scale,
 	}
 	e.HAL = svm.NewModule(mgr, svm.Accessor{
 		Virtual: VCPU, Physical: PCPU, Domain: cpuDomain, Name: "cpu",
@@ -168,6 +183,19 @@ func New(env *sim.Env, mach *hostsim.Machine, p Preset) *Emulator {
 	e.Modem = mk("modem", VModem, PCPU, mach.CPU, cpuDomain)
 	e.NIC = mk("nic", VNIC, PNIC, mach.NIC, mach.NICBuf)
 	return e
+}
+
+// Devices returns the instance's virtual devices in a fixed order,
+// skipping absent ones (Trinity has no camera).
+func (e *Emulator) Devices() []*device.Device {
+	all := []*device.Device{e.GPU, e.Display, e.ISP, e.Codec, e.Camera, e.Modem, e.NIC}
+	out := all[:0]
+	for _, d := range all {
+		if d != nil {
+			out = append(out, d)
+		}
+	}
+	return out
 }
 
 // CodecIsHardware reports whether decode runs on the GPU's codec engine.

@@ -67,6 +67,17 @@ func (f *Fence) Signal() {
 // Wait parks p until the fence retires. Multiple waiters are allowed.
 func (f *Fence) Wait(p *sim.Proc) { f.ev.Wait(p) }
 
+// WaitTimeout parks p until the fence retires or d elapses, reporting
+// whether the fence retired. It is the watchdog face of Wait: when the
+// signaling device is stalled, the waiter gets a diagnosable timeout
+// instead of hanging the simulation.
+func (f *Fence) WaitTimeout(p *sim.Proc, d sim.Time) bool {
+	if f.state == stateSignaled {
+		return true
+	}
+	return f.ev.WaitTimeout(p, d)
+}
+
 // Table is the virtual fence table: a fixed set of fence slots bounded by
 // one shared guest page.
 type Table struct {

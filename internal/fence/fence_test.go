@@ -317,3 +317,140 @@ func TestQuickRecycledHandlesStaySignaled(t *testing.T) {
 		t.Fatal(err)
 	}
 }
+
+func TestWaitTimeoutExpires(t *testing.T) {
+	env := sim.NewEnv(1)
+	defer env.Close()
+	tab := NewTable(env)
+	f := tab.Alloc()
+	env.Spawn("waiter", func(p *sim.Proc) {
+		if f.WaitTimeout(p, 10*ms) {
+			t.Error("WaitTimeout on a never-signaled fence returned true")
+		}
+		if p.Now() != 10*ms {
+			t.Errorf("woke at %v, want 10ms", p.Now())
+		}
+	})
+	env.RunUntil(time.Second)
+}
+
+func TestWaitTimeoutSignaledInTime(t *testing.T) {
+	env := sim.NewEnv(1)
+	defer env.Close()
+	tab := NewTable(env)
+	f := tab.Alloc()
+	env.After(5*ms, f.Signal)
+	env.Spawn("waiter", func(p *sim.Proc) {
+		if !f.WaitTimeout(p, 10*ms) {
+			t.Error("WaitTimeout missed a signal inside the window")
+		}
+		if p.Now() != 5*ms {
+			t.Errorf("woke at %v, want 5ms", p.Now())
+		}
+	})
+	env.RunUntil(time.Second)
+}
+
+func TestWaitTimeoutAlreadySignaled(t *testing.T) {
+	env := sim.NewEnv(1)
+	defer env.Close()
+	tab := NewTable(env)
+	f := tab.Alloc()
+	f.Signal()
+	env.Spawn("waiter", func(p *sim.Proc) {
+		if !f.WaitTimeout(p, 10*ms) {
+			t.Error("WaitTimeout on a signaled fence returned false")
+		}
+		if p.Now() != 0 {
+			t.Errorf("pre-signaled wait slept until %v, want immediate return", p.Now())
+		}
+	})
+	env.RunUntil(time.Second)
+}
+
+func TestRecyclingUnderPressureKeepsStaleFencesSignaled(t *testing.T) {
+	// Churn far past table capacity so every slot index is recycled many
+	// times over, while late waiters hold pointers to long-recycled fences.
+	// A stale pointer must stay signaled — it must never alias the slot's
+	// new (active) occupant.
+	env := sim.NewEnv(1)
+	defer env.Close()
+	tab := NewTable(env)
+
+	const churn = 1000 // ~8 full table generations
+	env.Spawn("churn", func(p *sim.Proc) {
+		var stale []*Fence
+		for i := 0; i < churn; i++ {
+			f := tab.Alloc()
+			f.Signal()
+			stale = append(stale, f)
+			if len(stale) > 3*tab.Capacity() {
+				stale = stale[1:]
+			}
+			// Late waiter on a fence whose slot has long been recycled.
+			old := stale[0]
+			env.Spawn("late-waiter", func(p *sim.Proc) {
+				start := p.Now()
+				old.Wait(p)
+				if p.Now() != start {
+					t.Errorf("late wait on recycled fence blocked %v", p.Now()-start)
+				}
+			})
+			p.Sleep(time.Microsecond)
+		}
+		for _, f := range stale {
+			if !f.Signaled() {
+				t.Errorf("stale fence %d lost its signaled state after recycle", f.Index())
+			}
+		}
+	})
+	env.RunUntil(time.Minute)
+
+	if tab.Allocs() != churn {
+		t.Fatalf("Allocs = %d, want %d", tab.Allocs(), churn)
+	}
+	if tab.Peak() > tab.Capacity() {
+		t.Fatalf("Peak %d exceeds capacity %d", tab.Peak(), tab.Capacity())
+	}
+	if tab.Recycles()+tab.Capacity() < tab.Allocs() {
+		t.Fatalf("accounting broken: %d allocs need at least %d recycles, saw %d",
+			tab.Allocs(), tab.Allocs()-tab.Capacity(), tab.Recycles())
+	}
+	if tab.InUse() != tab.Allocs()-tab.Recycles() {
+		t.Fatalf("InUse %d != Allocs %d - Recycles %d",
+			tab.InUse(), tab.Allocs(), tab.Recycles())
+	}
+}
+
+func TestRecyclingNeverReclaimsActiveFences(t *testing.T) {
+	// Hold a block of active fences while churning the rest of the table:
+	// recycling pressure must only ever reclaim signaled slots.
+	env := sim.NewEnv(1)
+	defer env.Close()
+	tab := NewTable(env)
+
+	held := make([]*Fence, 0, 100)
+	for i := 0; i < 100; i++ {
+		held = append(held, tab.Alloc())
+	}
+	for i := 0; i < 500; i++ {
+		f := tab.Alloc()
+		f.Signal()
+	}
+	seen := make(map[int]bool)
+	for _, f := range held {
+		if f.Signaled() {
+			t.Fatalf("active fence %d was signaled by recycling", f.Index())
+		}
+		if seen[f.Index()] {
+			t.Fatalf("two active fences share slot %d", f.Index())
+		}
+		seen[f.Index()] = true
+		if tab.slots[f.Index()] != f {
+			t.Fatalf("slot %d no longer holds its active fence", f.Index())
+		}
+	}
+	for _, f := range held {
+		f.Signal()
+	}
+}

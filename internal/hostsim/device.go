@@ -32,6 +32,7 @@ type Device struct {
 	Name   string
 	Kind   DeviceKind
 	Local  *Domain // the memory domain holding this device's local data
+	env    *sim.Env
 	units  *sim.Semaphore
 	speed  func() float64 // current speed factor in (0,1]
 	busy   time.Duration
@@ -42,6 +43,12 @@ type Device struct {
 	// virtual devices share one physical device (§3.4's GPU context
 	// switches).
 	lastUser string
+
+	// storm forces every SwitchUser to report a context switch — the
+	// fault layer's context-switch-storm model (a pathological scheduler
+	// interleaving where no virtual device ever runs twice in a row).
+	storm  bool
+	stalls int
 }
 
 // NewDevice returns a device with the given number of parallel execution
@@ -51,10 +58,34 @@ func NewDevice(env *sim.Env, name string, kind DeviceKind, local *Domain, units 
 		Name:  name,
 		Kind:  kind,
 		Local: local,
+		env:   env,
 		units: sim.NewSemaphore(env, units),
 		speed: func() float64 { return 1 },
 	}
 }
+
+// Stall occupies every execution unit until release fires, modeling a hung
+// device (GPU hang, firmware reset): already-running work finishes, queued
+// work observes a fully busy device, and everything resumes when the fault
+// clears. The occupation is FIFO-fair through the unit semaphore, so the
+// stall is deterministic with respect to in-flight work.
+func (d *Device) Stall(release *sim.Event) {
+	d.stalls++
+	n := d.units.Capacity()
+	d.env.Spawn(d.Name+"-stall", func(p *sim.Proc) {
+		d.units.Acquire(p, n)
+		release.Wait(p)
+		d.units.Release(n)
+	})
+}
+
+// Stalls returns how many stall faults have been injected on this device.
+func (d *Device) Stalls() int { return d.stalls }
+
+// ForceSwitchStorm toggles the context-switch storm: while on, every
+// SwitchUser call reports a switch, charging the per-switch stall to every
+// operation regardless of the actual user sequence.
+func (d *Device) ForceSwitchStorm(on bool) { d.storm = on }
 
 // SetSpeedSource installs a dynamic speed factor (used by thermal models).
 func (d *Device) SetSpeedSource(f func() float64) { d.speed = f }
@@ -103,7 +134,7 @@ func (d *Device) TryExec(p *sim.Proc, cost time.Duration) bool {
 // SwitchUser records that the named virtual device is about to execute and
 // reports whether that is a context switch from a different user.
 func (d *Device) SwitchUser(name string) bool {
-	if d.lastUser == name {
+	if d.lastUser == name && !d.storm {
 		return false
 	}
 	d.lastUser = name

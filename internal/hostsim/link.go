@@ -1,6 +1,7 @@
 package hostsim
 
 import (
+	"math/rand"
 	"time"
 
 	"repro/internal/sim"
@@ -24,7 +25,22 @@ type Link struct {
 	sem           *sim.Semaphore
 	moved         Bytes // total bytes carried (telemetry)
 	busy          time.Duration
+
+	// degrade scales both bandwidths in (0,1]; 1 means nominal. The fault
+	// layer drives it to model congestion and partial link failure. The
+	// Bandwidth fields always keep the configured nominal values so
+	// callers can still reason about the healthy link.
+	degrade float64
+	// dmaLoss is the per-attempt probability that a DMA transfer is lost
+	// and must be re-driven; lossRng decides, seeded by the fault layer.
+	dmaLoss float64
+	lossRng *rand.Rand
+	retries int
 }
+
+// maxDMARetries bounds re-drives of a lossy DMA transfer so an injected
+// loss probability near 1 cannot stall the simulation forever.
+const maxDMARetries = 8
 
 // NewLink returns a link with the given bandwidth (bytes/second) and fixed
 // per-transfer latency.
@@ -33,17 +49,42 @@ func NewLink(env *sim.Env, name string, bandwidth float64, latency time.Duration
 		panic("hostsim: link bandwidth must be positive")
 	}
 	return &Link{Name: name, Bandwidth: bandwidth, SyncBandwidth: bandwidth,
-		Latency: latency, sem: sim.NewSemaphore(env, 1)}
+		Latency: latency, sem: sim.NewSemaphore(env, 1), degrade: 1}
 }
+
+// SetDegradation scales the link's effective bandwidth by f in (0,1];
+// f = 1 restores nominal speed. Panics on a non-positive or >1 factor —
+// a degradation cannot make a link faster than built.
+func (l *Link) SetDegradation(f float64) {
+	if f <= 0 || f > 1 {
+		panic("hostsim: link degradation factor must be in (0,1]")
+	}
+	l.degrade = f
+}
+
+// Degradation returns the current bandwidth scale factor (1 = nominal).
+func (l *Link) Degradation() float64 { return l.degrade }
+
+// SetDMALoss installs a per-transfer loss probability for DMA transfers;
+// lost transfers are re-driven (up to maxDMARetries times), so loss shows
+// up as extra service time rather than corruption. rng must be owned by
+// the (single-threaded) simulation driving this link; prob <= 0 disables.
+func (l *Link) SetDMALoss(prob float64, rng *rand.Rand) {
+	l.dmaLoss = prob
+	l.lossRng = rng
+}
+
+// DMARetries returns how many lost DMA transfers were re-driven.
+func (l *Link) DMARetries() int { return l.retries }
 
 // TransferTime returns the uncontended duration to move size bytes by DMA.
 func (l *Link) TransferTime(size Bytes) time.Duration {
-	return l.Latency + time.Duration(float64(size)/l.Bandwidth*float64(time.Second))
+	return l.Latency + time.Duration(float64(size)/(l.Bandwidth*l.degrade)*float64(time.Second))
 }
 
 // SyncTransferTime returns the uncontended duration of a synchronous copy.
 func (l *Link) SyncTransferTime(size Bytes) time.Duration {
-	return l.Latency + time.Duration(float64(size)/l.SyncBandwidth*float64(time.Second))
+	return l.Latency + time.Duration(float64(size)/(l.SyncBandwidth*l.degrade)*float64(time.Second))
 }
 
 // Transfer moves size bytes across the link by DMA, blocking p for queueing
@@ -69,11 +110,20 @@ func (l *Link) transfer(p *sim.Proc, size Bytes, sync bool) (time.Duration, time
 	if sync {
 		d = l.SyncTransferTime(size)
 	}
-	p.Sleep(d)
+	var service time.Duration
+	for attempt := 0; ; attempt++ {
+		p.Sleep(d)
+		service += d
+		if sync || l.dmaLoss <= 0 || l.lossRng == nil || attempt >= maxDMARetries ||
+			l.lossRng.Float64() >= l.dmaLoss {
+			break
+		}
+		l.retries++
+	}
 	l.sem.Release(1)
 	l.moved += size
-	l.busy += d
-	return p.Now() - start, d
+	l.busy += service
+	return p.Now() - start, service
 }
 
 // BytesMoved returns the total bytes this link has carried.

@@ -45,6 +45,9 @@ type Machine struct {
 	HWDecode, HWEncode bool
 
 	links map[linkKey]*Link
+	// linkOrder preserves registration order so link enumeration (and
+	// anything seeded from it, like fault schedules) is deterministic.
+	linkOrder []*Link
 }
 
 // NewMachine returns a machine shell with domains created but no links or
@@ -67,6 +70,7 @@ func NewMachine(env *sim.Env, name string) *Machine {
 func (m *Machine) AddLink(from, to *Domain, name string, bandwidth float64, latency time.Duration) *Link {
 	l := NewLink(m.Env, name, bandwidth, latency)
 	m.links[linkKey{from, to}] = l
+	m.linkOrder = append(m.linkOrder, l)
 	return l
 }
 
@@ -82,12 +86,11 @@ func (m *Machine) LinkBetween(from, to *Domain) *Link {
 	return m.links[linkKey{from, to}]
 }
 
-// Links returns all registered links (for telemetry).
+// Links returns all registered links in registration order (for telemetry
+// and deterministic enumeration by the fault layer).
 func (m *Machine) Links() []*Link {
-	out := make([]*Link, 0, len(m.links))
-	for _, l := range m.links {
-		out = append(out, l)
-	}
+	out := make([]*Link, len(m.linkOrder))
+	copy(out, m.linkOrder)
 	return out
 }
 

@@ -31,6 +31,7 @@ type Thermal struct {
 
 	temp      float64
 	throttled bool
+	forced    bool // fault-layer override: throttle regardless of temperature
 	lastTick  time.Duration
 	pending   time.Duration // busy time accumulated since last tick
 }
@@ -72,12 +73,22 @@ func (t *Thermal) step(interval time.Duration) {
 // Temperature returns the modeled package temperature.
 func (t *Thermal) Temperature() float64 { return t.temp }
 
-// Throttled reports whether throttling is engaged.
-func (t *Thermal) Throttled() bool { return t.throttled }
+// Throttled reports whether throttling is engaged (thermally or forced).
+func (t *Thermal) Throttled() bool { return t.throttled || t.forced }
+
+// ForceExcursion overrides the temperature model: while on, the device runs
+// at ThrottledSpeed regardless of the modeled package temperature. The fault
+// layer uses this for injected throttle excursions; the thermal state keeps
+// evolving underneath, so clearing the excursion returns to whatever the
+// temperature dictates.
+func (t *Thermal) ForceExcursion(on bool) { t.forced = on }
+
+// Forced reports whether a forced excursion is active.
+func (t *Thermal) Forced() bool { return t.forced }
 
 // SpeedFactor returns the current speed multiplier.
 func (t *Thermal) SpeedFactor() float64 {
-	if t.throttled {
+	if t.Throttled() {
 		return t.ThrottledSpeed
 	}
 	return 1

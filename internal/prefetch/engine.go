@@ -111,7 +111,21 @@ func (e *Engine) Predict(region uint64, writerPhys hypergraph.NodeID, size int64
 	if pEdge == nil {
 		return Prediction{}, false
 	}
-	pred.Readers = append(pred.Readers, pEdge.Dests...)
+	// The writer's own physical node is never a prefetch destination: it
+	// already holds the data. Flow edges can legitimately contain it (two
+	// virtual devices mapped to one physical node, e.g. an in-GPU ISP
+	// feeding the GPU), but predicting it would both schedule a no-op push
+	// and let accuracy scoring credit a self-prediction as correct.
+	for _, dst := range pEdge.Dests {
+		if dst == writerPhys {
+			continue
+		}
+		pred.Readers = append(pred.Readers, dst)
+	}
+	if len(pred.Readers) == 0 {
+		// Same-node flow only: nothing to prefetch, nothing to predict.
+		return Prediction{}, false
+	}
 
 	pf, okPf := e.forecastPrefetchTime(pEdge, size)
 	var slack time.Duration
@@ -177,6 +191,18 @@ func (e *Engine) ObserveBandwidth(path string, bps float64, now time.Duration) {
 	}
 	if max := e.maxBandwidth[path]; max > 0 && bps < e.cfg.BandwidthFloor*max {
 		e.suspend(now)
+	}
+}
+
+// SeedPathMax pre-loads a path's maximum with its configured nominal
+// bandwidth, so a path that is congested from its very first observation
+// can still trip the floor. Without a seed the first sample *becomes* the
+// max and a congested-from-start path never reads as degraded. The fault
+// layer calls this with the link's nominal bandwidth when it arms a fault
+// on the path; an existing higher max is kept.
+func (e *Engine) SeedPathMax(path string, bps float64) {
+	if bps > e.maxBandwidth[path] {
+		e.maxBandwidth[path] = bps
 	}
 }
 

@@ -229,3 +229,68 @@ func TestPredictAfterRemapFollowsNewFlow(t *testing.T) {
 		t.Fatalf("Readers = %v, want gpu after remap", pred.Readers)
 	}
 }
+
+func TestPredictFiltersWriterFromReaders(t *testing.T) {
+	// Two virtual devices can share one physical node (vSoC's in-GPU ISP
+	// feeding the GPU), so flow edges legitimately contain the writer's
+	// own physical node — but it must never be *predicted*: it already
+	// holds the data, and crediting a self-prediction inflates accuracy.
+	tw := newTwin()
+	e := New(tw, DefaultConfig())
+	pe := tw.Physical.Edge([]hypergraph.NodeID{pGPU}, []hypergraph.NodeID{pGPU, pISP})
+	tw.Map(1, hypergraph.Mapping{Physical: pe})
+
+	pred, ok := e.Predict(1, pGPU, 1024, 0)
+	if !ok {
+		t.Fatal("expected a prediction")
+	}
+	if len(pred.Readers) != 1 || pred.Readers[0] != pISP {
+		t.Fatalf("Readers = %v, want [isp] (writer filtered out)", pred.Readers)
+	}
+}
+
+func TestPredictSameNodeOnlyFlowHasNoPrediction(t *testing.T) {
+	// A flow whose only destination is the writer itself predicts
+	// nothing: there is nowhere to prefetch to.
+	tw := newTwin()
+	e := New(tw, DefaultConfig())
+	pe := tw.Physical.Edge([]hypergraph.NodeID{pGPU}, []hypergraph.NodeID{pGPU})
+	tw.Map(1, hypergraph.Mapping{Physical: pe})
+
+	if _, ok := e.Predict(1, pGPU, 1024, 0); ok {
+		t.Fatal("self-only flow must not produce a prediction")
+	}
+}
+
+func TestSeedPathMaxCatchesCongestedFromStart(t *testing.T) {
+	// Without a seed, the first sample on a path becomes its max, so a
+	// path congested from its very first observation can never trip the
+	// floor. Seeding from the link's nominal bandwidth closes the gap.
+	unseeded := New(newTwin(), DefaultConfig())
+	unseeded.ObserveBandwidth("pcie", 4e9, 0) // actually 40% of an 11 GB/s link
+	if unseeded.Suspended(0) {
+		t.Fatal("unseeded engine cannot know the path is congested")
+	}
+
+	seeded := New(newTwin(), DefaultConfig())
+	seeded.SeedPathMax("pcie", 11e9)
+	if seeded.Suspended(0) {
+		t.Fatal("seeding alone must not suspend")
+	}
+	seeded.ObserveBandwidth("pcie", 4e9, 0)
+	if !seeded.Suspended(0) {
+		t.Fatal("congested-from-start path must suspend once seeded")
+	}
+	if seeded.Suspensions() != 1 {
+		t.Fatalf("Suspensions = %d, want 1", seeded.Suspensions())
+	}
+}
+
+func TestSeedPathMaxKeepsHigherObservedMax(t *testing.T) {
+	e := New(newTwin(), DefaultConfig())
+	e.ObserveBandwidth("pcie", 12e9, 0) // measured above nominal
+	e.SeedPathMax("pcie", 11e9)
+	if e.MaxBandwidth("pcie") != 12e9 {
+		t.Fatalf("MaxBandwidth = %v, want the higher observed 12e9", e.MaxBandwidth("pcie"))
+	}
+}

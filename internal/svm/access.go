@@ -148,7 +148,14 @@ func (a *Access) End(p *sim.Proc) (EndInfo, error) {
 	a.ended = true
 	m, r := a.m, a.r
 	var info EndInfo
-	if a.usage.writes() && !r.freed {
+	if a.usage.writes() && r.freed {
+		// The region was freed while the write was in flight: there is no
+		// live version to commit into, so the data is gone. Surface the
+		// use-after-free instead of silently dropping the commit, and keep
+		// the never-landed bytes out of the useful-throughput numerator.
+		return EndInfo{}, ErrFreed
+	}
+	if a.usage.writes() {
 		// Unconsumed pushed copies of the previous version are waste.
 		for _, dom := range r.accessedDomains {
 			if r.delivered[dom] && r.copies[dom] == r.version {

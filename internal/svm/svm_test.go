@@ -771,3 +771,60 @@ func TestObserverReceivesAccesses(t *testing.T) {
 		t.Fatalf("observer calls = %d, want 1", calls)
 	}
 }
+
+func TestWriteToRegionFreedMidAccessReturnsErrFreed(t *testing.T) {
+	rg := newRig(t, KindPrefetch)
+	reg, err := rg.m.Alloc(1 << 20)
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	rg.env.Spawn("writer", func(p *sim.Proc) {
+		a, err := rg.m.BeginAccess(p, reg.ID, rg.codec, UsageWrite, 1<<20)
+		if err != nil {
+			t.Errorf("BeginAccess: %v", err)
+			return
+		}
+		p.Sleep(5 * ms) // region is freed while the write is in flight
+		before := rg.m.Stats().BytesAccessed
+		if _, err := a.End(p); err != ErrFreed {
+			t.Errorf("End on freed region = %v, want ErrFreed", err)
+		}
+		if got := rg.m.Stats().BytesAccessed; got != before {
+			t.Errorf("BytesAccessed counted %d bytes of a lost write", got-before)
+		}
+		// The commit must not have happened: no new version to observe.
+	})
+	rg.env.Spawn("freer", func(p *sim.Proc) {
+		p.Sleep(2 * ms)
+		if err := rg.m.Free(reg.ID); err != nil {
+			t.Errorf("Free: %v", err)
+		}
+	})
+	rg.env.RunUntil(time.Second)
+}
+
+func TestReadEndOnFreedRegionCompletes(t *testing.T) {
+	// A read that began before the free completes normally: its data was
+	// already fetched, nothing is lost. Only the *write* commit path is a
+	// use-after-free — pin the asymmetry.
+	rg := newRig(t, KindPrefetch)
+	reg, err := rg.m.Alloc(1 << 20)
+	if err != nil {
+		t.Fatal(err)
+	}
+	rg.env.Spawn("setup", func(p *sim.Proc) {
+		rg.write(t, p, reg.ID, rg.codec)
+		a, err := rg.m.BeginAccess(p, reg.ID, rg.gpu, UsageRead, 1<<20)
+		if err != nil {
+			t.Fatalf("BeginAccess: %v", err)
+		}
+		if err := rg.m.Free(reg.ID); err != nil {
+			t.Fatalf("Free: %v", err)
+		}
+		if _, err := a.End(p); err != nil {
+			t.Errorf("read End after free = %v, want nil (data already delivered)", err)
+		}
+	})
+	rg.env.RunUntil(time.Second)
+}

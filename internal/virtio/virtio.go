@@ -15,6 +15,33 @@ import (
 	"repro/internal/sim"
 )
 
+// CostScale is a dynamic multiplier on transport costs, shared by every
+// ring and IRQ line built from one Config. The fault layer drives it to
+// model kick/IRQ latency spikes (a saturated hypervisor exit path); the
+// zero factor and a nil receiver both mean nominal cost.
+type CostScale struct {
+	factor float64
+}
+
+// NewCostScale returns a scale at nominal (factor 1).
+func NewCostScale() *CostScale { return &CostScale{factor: 1} }
+
+// Set installs the multiplier; f <= 0 panics (a transport cannot be free).
+func (s *CostScale) Set(f float64) {
+	if f <= 0 {
+		panic("virtio: cost scale factor must be positive")
+	}
+	s.factor = f
+}
+
+// Factor returns the current multiplier, 1 for a nil or unset scale.
+func (s *CostScale) Factor() float64 {
+	if s == nil || s.factor == 0 {
+		return 1
+	}
+	return s.factor
+}
+
 // Config holds the transport cost model.
 type Config struct {
 	// KickCost is the guest-side cost of notifying the host after
@@ -24,6 +51,15 @@ type Config struct {
 	IRQCost time.Duration
 	// PerCommandCost is the marshaling cost per command on the guest side.
 	PerCommandCost time.Duration
+	// Scale, when non-nil, multiplies every transport cost at charge time.
+	// It is shared (by pointer) across the rings and IRQ lines of one
+	// emulator so a single injected spike slows them all.
+	Scale *CostScale
+}
+
+// Scaled applies the config's dynamic cost scale to a duration.
+func (c Config) Scaled(d time.Duration) time.Duration {
+	return time.Duration(float64(d) * c.Scale.Factor())
 }
 
 // DefaultConfig mirrors measured KVM-class transport costs: tens of
@@ -91,7 +127,7 @@ func (r *Ring) DispatchBatch(p *sim.Proc, cmds []*Command) {
 	if len(cmds) == 0 {
 		return
 	}
-	p.Sleep(time.Duration(len(cmds))*r.cfg.PerCommandCost + r.cfg.KickCost)
+	p.Sleep(r.cfg.Scaled(time.Duration(len(cmds))*r.cfg.PerCommandCost + r.cfg.KickCost))
 	for _, c := range cmds {
 		c.EnqueuedAt = p.Now()
 		r.stats.Commands++
@@ -139,7 +175,7 @@ func (l *IRQLine) Raise(v any) {
 // guest-side handling cost.
 func (l *IRQLine) Wait(p *sim.Proc) any {
 	v := l.q.Get(p)
-	p.Sleep(l.cfg.IRQCost)
+	p.Sleep(l.cfg.Scaled(l.cfg.IRQCost))
 	return v
 }
 
