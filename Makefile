@@ -4,7 +4,7 @@
 
 GO ?= go
 
-.PHONY: check build vet test race bench-smoke chaos-smoke verify
+.PHONY: check build vet test race bench-smoke chaos-smoke trace-smoke verify
 
 check: vet build test
 
@@ -35,4 +35,10 @@ chaos-smoke:
 	$(GO) test -race ./internal/faults/... ./internal/fence/...
 	$(GO) run ./cmd/vsocbench -exp robustness -duration 12s
 
-verify: check race bench-smoke chaos-smoke
+# Observability gate: a traced robustness run must emit per-cell Perfetto
+# JSON that tracecheck accepts (valid JSON, required trace-event keys).
+trace-smoke:
+	$(GO) run ./cmd/vsocbench -exp robustness -duration 12s -trace /tmp/vsoc-trace.json -metrics > /dev/null
+	$(GO) run ./cmd/tracecheck /tmp/vsoc-trace-*.json
+
+verify: check race bench-smoke chaos-smoke trace-smoke

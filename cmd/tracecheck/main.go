@@ -1,0 +1,107 @@
+// Command tracecheck validates Chrome/Perfetto trace-event JSON files
+// produced by the observability layer (vsocbench -trace). For each file it
+// checks that the bytes are valid JSON, that the document carries a
+// non-empty traceEvents array, and that every event has the keys the
+// Perfetto UI requires (name, ph, pid, tid; ts for non-metadata events).
+//
+// Usage:
+//
+//	tracecheck file.json [file2.json ...]
+//
+// Exits non-zero when any file fails validation — the trace-smoke make
+// target relies on this.
+package main
+
+import (
+	"encoding/json"
+	"fmt"
+	"os"
+)
+
+func main() {
+	if len(os.Args) < 2 {
+		fmt.Fprintln(os.Stderr, "usage: tracecheck file.json [file2.json ...]")
+		os.Exit(2)
+	}
+	failed := false
+	for _, path := range os.Args[1:] {
+		if err := checkFile(path); err != nil {
+			fmt.Fprintf(os.Stderr, "tracecheck: %s: %v\n", path, err)
+			failed = true
+			continue
+		}
+	}
+	if failed {
+		os.Exit(1)
+	}
+}
+
+func checkFile(path string) error {
+	raw, err := os.ReadFile(path)
+	if err != nil {
+		return err
+	}
+	if !json.Valid(raw) {
+		return fmt.Errorf("not valid JSON")
+	}
+	var doc struct {
+		DisplayTimeUnit string                       `json:"displayTimeUnit"`
+		TraceEvents     []map[string]json.RawMessage `json:"traceEvents"`
+	}
+	if err := json.Unmarshal(raw, &doc); err != nil {
+		return err
+	}
+	if len(doc.TraceEvents) == 0 {
+		return fmt.Errorf("empty traceEvents array")
+	}
+	spans, instants, counters, asyncs, meta := 0, 0, 0, 0, 0
+	tracks := map[string]bool{}
+	for i, ev := range doc.TraceEvents {
+		for _, key := range []string{"name", "ph", "pid", "tid"} {
+			if _, ok := ev[key]; !ok {
+				return fmt.Errorf("event %d missing %q", i, key)
+			}
+		}
+		var ph string
+		if err := json.Unmarshal(ev["ph"], &ph); err != nil {
+			return fmt.Errorf("event %d: bad ph: %v", i, err)
+		}
+		if ph != "M" {
+			if _, ok := ev["ts"]; !ok {
+				return fmt.Errorf("event %d (ph=%s) missing ts", i, ph)
+			}
+		}
+		switch ph {
+		case "X":
+			spans++
+			if _, ok := ev["dur"]; !ok {
+				return fmt.Errorf("event %d: complete span missing dur", i)
+			}
+		case "i":
+			instants++
+		case "C":
+			counters++
+		case "b", "e":
+			asyncs++
+			if _, ok := ev["id"]; !ok {
+				return fmt.Errorf("event %d: async edge missing id", i)
+			}
+		case "M":
+			meta++
+			var name string
+			json.Unmarshal(ev["name"], &name)
+			if name == "thread_name" {
+				var args struct {
+					Name string `json:"name"`
+				}
+				json.Unmarshal(ev["args"], &args)
+				tracks[args.Name] = true
+			}
+		default:
+			return fmt.Errorf("event %d: unknown phase %q", i, ph)
+		}
+	}
+	fmt.Printf("%s: ok — %d tracks, %d spans, %d instants, %d counters, %d async edges, %d metadata\n",
+		path, len(tracks), spans, instants, counters, asyncs, meta)
+	return nil
+}

@@ -5,12 +5,21 @@
 //
 // Usage:
 //
-//	vsocbench [-exp all|table1|table2|fig10|fig11|fig12|fig13|fig14|fig15|fig16|prediction|overhead|popablation]
+//	vsocbench [-exp all|table1|table2|fig10|fig11|fig12|fig13|fig14|fig15|fig16|prediction|overhead|popablation|services|protocols|thermal|resolution|robustness]
 //	          [-duration 30s] [-apps 10] [-popular 25] [-seed 1] [-workers 0]
+//	          [-trace out.json] [-metrics]
 //
 // -workers bounds how many app sessions simulate concurrently (0 = one per
 // CPU, 1 = serial). Results are identical at every setting; only wall-clock
 // time changes.
+//
+// -trace writes virtual-time Chrome/Perfetto trace-event JSON (open it at
+// ui.perfetto.dev) for the experiments that support it: the robustness sweep
+// writes one file per (emulator, fault) cell next to the given path, and the
+// overhead run writes exactly the given path. -metrics appends a plain-text
+// dump of the runs' counters, gauges, and histograms to their reports. Both
+// observe only: with them off, output is byte-identical to a build without
+// the observability layer.
 //
 // Figure 13 prints with fig10 and figure 14 with fig11 (same runs).
 package main
@@ -31,6 +40,8 @@ func main() {
 	popular := flag.Int("popular", 25, "popular apps to run")
 	seed := flag.Int64("seed", 1, "simulation seed")
 	workers := flag.Int("workers", 0, "concurrent app sessions (0 = one per CPU, 1 = serial)")
+	tracePath := flag.String("trace", "", "write Chrome/Perfetto trace JSON (robustness: per-cell files; overhead: this path)")
+	metrics := flag.Bool("metrics", false, "append a metrics dump to supporting experiment reports")
 	flag.Parse()
 
 	cfg := experiments.Config{
@@ -39,6 +50,8 @@ func main() {
 		PopularApps:     *popular,
 		Seed:            *seed,
 		Workers:         *workers,
+		TracePath:       *tracePath,
+		Metrics:         *metrics,
 	}
 
 	wallStart := time.Now()
@@ -110,7 +123,9 @@ func main() {
 		fmt.Print(experiments.FormatResolution(experiments.RunResolutionSweep(cfg)))
 	})
 	run("robustness", func() {
-		fmt.Print(experiments.FormatRobustness(experiments.RunRobustness(cfg)))
+		r := experiments.RunRobustness(cfg)
+		fmt.Print(experiments.FormatRobustness(r))
+		fmt.Print(experiments.FormatRobustnessObs(r))
 	})
 
 	switch *exp {

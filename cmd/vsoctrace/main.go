@@ -28,6 +28,17 @@ func main() {
 	seed := flag.Int64("seed", 1, "simulation seed")
 	flag.Parse()
 
+	// Validate the figure selection before running the study — the study is
+	// the expensive part, and a typo should fail fast with usage, not after
+	// half a minute of simulation.
+	switch *fig {
+	case 0, 4, 5, 6:
+	default:
+		fmt.Fprintf(os.Stderr, "unknown figure %d (want 0, 4, 5, or 6)\n", *fig)
+		flag.Usage()
+		os.Exit(2)
+	}
+
 	cfg := experiments.Config{Duration: *duration, AppsPerCategory: *apps, Seed: *seed}
 	study := experiments.RunStudy(cfg)
 
@@ -43,9 +54,6 @@ func main() {
 	case 6:
 		printCDFs(study, "Figure 6: slack intervals (ms)",
 			func(t *experiments.PlatformTrace) *metrics.Distribution { return &t.SlackIntervals })
-	default:
-		fmt.Fprintf(os.Stderr, "unknown figure %d\n", *fig)
-		os.Exit(2)
 	}
 }
 

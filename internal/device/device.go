@@ -19,6 +19,7 @@ import (
 	"repro/internal/flowcontrol"
 	"repro/internal/hostsim"
 	"repro/internal/hypergraph"
+	"repro/internal/obs"
 	"repro/internal/sim"
 	"repro/internal/svm"
 	"repro/internal/virtio"
@@ -161,6 +162,13 @@ type Device struct {
 	domain *hostsim.Domain
 
 	stats Stats
+
+	tr         *obs.Tracer
+	tk         obs.Track
+	subCtr     *obs.Counter
+	execCtr    *obs.Counter
+	dropCtr    *obs.Counter
+	timeoutCtr *obs.Counter
 }
 
 // hostOp is the payload carried in ring commands.
@@ -193,6 +201,15 @@ func New(env *sim.Env, mgr *svm.Manager, name string, vid, pid hypergraph.NodeID
 	}
 	if cfg.Mode == ModeFence && ftab == nil {
 		panic(fmt.Sprintf("device %s: fence mode requires a fence table", name))
+	}
+	if d.tr = env.Tracer(); d.tr != nil {
+		d.tk = d.tr.Track("dev:" + name)
+	}
+	if reg := env.Metrics(); reg != nil {
+		d.subCtr = reg.Counter("dev." + name + ".submitted")
+		d.execCtr = reg.Counter("dev." + name + ".executed")
+		d.dropCtr = reg.Counter("dev." + name + ".dropped_ops")
+		d.timeoutCtr = reg.Counter("dev." + name + ".fence_timeouts")
 	}
 	if cfg.UseFlowControl && cfg.Mode == ModeFence {
 		d.mimd = flowcontrol.New(env, cfg.FlowControl)
@@ -245,6 +262,7 @@ func (d *Device) QueueDepth() int { return d.ring.Pending() }
 //     interrupt is handled.
 func (d *Device) Submit(p *sim.Proc, op Op) *Ticket {
 	d.stats.Submitted++
+	d.subCtr.Inc()
 	t := &Ticket{}
 	cmd := d.ring.NewCommand(opName(op.Kind), nil)
 	t.Cmd = cmd
@@ -306,15 +324,35 @@ func (d *Device) hostLoop(p *sim.Proc) {
 		ho := cmd.Payload.(*hostOp)
 		if ho.waitFence != nil {
 			d.stats.FenceWaits++
+			var wsp obs.Span
+			if d.tr != nil {
+				wsp = d.tr.Begin(d.tk, "fence-wait")
+			}
 			if wd := d.cfg.WatchdogTimeout; wd > 0 {
 				if !ho.waitFence.WaitTimeout(p, wd) {
 					d.stats.FenceTimeouts++
+					d.timeoutCtr.Inc()
+					if d.tr != nil {
+						d.tr.Instant(d.tk, "fence-timeout")
+					}
 				}
 			} else {
 				ho.waitFence.Wait(p)
 			}
+			if d.tr != nil {
+				d.tr.End(d.tk, wsp)
+			}
+		}
+		// The executor is one process, so op spans on a device track never
+		// overlap and can be complete events.
+		var sp obs.Span
+		if d.tr != nil {
+			sp = d.tr.Begin(d.tk, cmd.Kind)
 		}
 		d.execute(p, ho)
+		if d.tr != nil {
+			d.tr.End(d.tk, sp)
+		}
 		cmd.Done.Signal()
 		if ho.sigFence != nil {
 			ho.sigFence.Signal()
@@ -326,6 +364,7 @@ func (d *Device) hostLoop(p *sim.Proc) {
 			d.mimd.Complete(d.ring.Pending())
 		}
 		d.stats.Executed++
+		d.execCtr.Inc()
 	}
 }
 
@@ -333,6 +372,9 @@ func (d *Device) execute(p *sim.Proc, ho *hostOp) {
 	op := ho.op
 	if d.host.SwitchUser(d.Name) {
 		// Taking over the physical device from another virtual device.
+		if d.tr != nil {
+			d.tr.Instant(d.tk, "ctx-switch")
+		}
 		if d.cfg.Mode == ModeFence {
 			p.Sleep(d.cfg.CtxSwitchDeferred)
 		} else {
@@ -363,6 +405,10 @@ func (d *Device) accessExec(p *sim.Proc, op Op, usage svm.Usage) {
 	if err != nil {
 		if errors.Is(err, svm.ErrFreed) || errors.Is(err, svm.ErrUnknownRegion) {
 			d.stats.DroppedOps++
+			d.dropCtr.Inc()
+			if d.tr != nil {
+				d.tr.Instant(d.tk, "dropped-op")
+			}
 			d.host.Exec(p, op.Exec)
 			return
 		}
@@ -372,6 +418,10 @@ func (d *Device) accessExec(p *sim.Proc, op Op, usage svm.Usage) {
 	if _, err := a.End(p); err != nil {
 		if errors.Is(err, svm.ErrFreed) {
 			d.stats.DroppedOps++
+			d.dropCtr.Inc()
+			if d.tr != nil {
+				d.tr.Instant(d.tk, "dropped-op")
+			}
 			return
 		}
 		panic(fmt.Sprintf("device %s: %s end: %v", d.Name, opName(op.Kind), err))

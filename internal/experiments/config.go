@@ -37,6 +37,15 @@ type Config struct {
 	// simulations merged in a fixed order — so Workers only trades
 	// wall-clock time for cores.
 	Workers int
+	// TracePath enables virtual-time span tracing for the experiments that
+	// support it. The robustness sweep writes one Chrome/Perfetto JSON file
+	// per (emulator, fault) cell, derived from this path; the overhead run
+	// writes exactly this path. Empty disables tracing: runs are then
+	// byte-identical to a build without the observability layer.
+	TracePath string
+	// Metrics enables the metrics registry; supporting experiments append a
+	// plain-text dump of counters, gauges, and histograms to their report.
+	Metrics bool
 }
 
 // Quick returns a configuration suitable for tests and benchmarks.

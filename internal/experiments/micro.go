@@ -5,6 +5,7 @@ import (
 
 	"repro/internal/emulator"
 	"repro/internal/metrics"
+	"repro/internal/obs"
 	"repro/internal/svm"
 	"repro/internal/workload"
 )
@@ -193,26 +194,53 @@ type OverheadResult struct {
 	// FenceTablePeak is the peak occupancy of the 4 KiB fence table.
 	FenceTablePeak int
 	FenceCapacity  int
+
+	// TraceFile and MetricsDump mirror the RobustnessCell fields: set only
+	// when the run was configured with TracePath/Metrics.
+	TraceFile   string
+	MetricsDump string
 }
 
 // RunOverhead reproduces the §5.2 overhead accounting during a camera-app
 // run (the busiest pipeline).
 func RunOverhead(cfg Config) *OverheadResult {
-	sess := workload.NewSession(emulator.VSoC(), HighEnd.New, cfg.Seed)
+	var tr *obs.Tracer
+	if cfg.TracePath != "" {
+		tr = obs.NewTracer()
+	}
+	var reg *obs.Registry
+	if cfg.Metrics {
+		reg = obs.NewRegistry()
+	}
+	sess := workload.NewObservedSession(emulator.VSoC(), HighEnd.New, cfg.Seed, tr, reg)
 	defer sess.Close()
+	out := &OverheadResult{}
+	finishObs := func() {
+		if tr != nil {
+			if err := writeTraceFile(cfg.TracePath, tr); err != nil {
+				out.TraceFile = "error: " + err.Error()
+			} else {
+				out.TraceFile = cfg.TracePath
+			}
+		}
+		if reg != nil {
+			out.MetricsDump = reg.FormatText()
+		}
+	}
 	spec := workload.DefaultSpec(emulator.CatCamera, 0, cfg.Duration)
 	if _, err := workload.RunEmerging(sess.Emulator, spec); err != nil {
-		return &OverheadResult{}
+		finishObs()
+		return out
 	}
 	st := sess.SVMStats()
 	const perOpCPU = 2 * time.Microsecond
 	opCPU := time.Duration(st.Accesses) * perOpCPU
-	return &OverheadResult{
-		MemoryBytes:    sess.Emulator.Manager.MemoryFootprint(),
-		CPUFraction:    float64(opCPU) / float64(cfg.Duration),
-		FenceTablePeak: sess.Emulator.Fences.Peak(),
-		FenceCapacity:  sess.Emulator.Fences.Capacity(),
-	}
+	out.MemoryBytes = sess.Emulator.Manager.MemoryFootprint()
+	out.CPUFraction = float64(opCPU) / float64(cfg.Duration)
+	out.FenceTablePeak = sess.Emulator.Fences.Peak()
+	out.FenceCapacity = sess.Emulator.Fences.Capacity()
+	finishObs()
+	return out
 }
 
 // Fig16Result is the write-invalidate access-latency CDF of §5.4.

@@ -1,0 +1,117 @@
+package experiments
+
+import (
+	"bytes"
+	"encoding/json"
+	"os"
+	"path/filepath"
+	"strings"
+	"testing"
+	"time"
+
+	"repro/internal/emulator"
+	"repro/internal/faults"
+)
+
+// TestRobustnessTraceDeterministic runs one traced robustness cell twice
+// with equal seeds and requires byte-identical Perfetto JSON, valid trace
+// structure, and spans from at least five distinct subsystem tracks inside
+// the fault window.
+func TestRobustnessTraceDeterministic(t *testing.T) {
+	if testing.Short() {
+		t.Skip("traced robustness cell is a multi-second simulation")
+	}
+	dir := t.TempDir()
+	base := Quick()
+	base.Duration = 12 * time.Second
+	base.Workers = 1
+	base.Metrics = true
+
+	var dumps []string
+	run := func(sub string) []byte {
+		cfg := base
+		cfg.TracePath = filepath.Join(dir, sub, "trace.json")
+		if err := os.MkdirAll(filepath.Dir(cfg.TracePath), 0o755); err != nil {
+			t.Fatal(err)
+		}
+		r := RunRobustnessOn(cfg, HighEnd,
+			[]emulator.Preset{emulator.VSoC()}, []faults.Class{faults.ClassLinkCollapse})
+		if len(r.Cells) != 1 {
+			t.Fatalf("got %d cells, want 1", len(r.Cells))
+		}
+		cell := &r.Cells[0]
+		if strings.HasPrefix(cell.TraceFile, "error:") || cell.TraceFile == "" {
+			t.Fatalf("trace not written: %q", cell.TraceFile)
+		}
+		if cell.MetricsDump == "" {
+			t.Fatal("metrics dump empty with Metrics on")
+		}
+		dumps = append(dumps, cell.MetricsDump)
+		raw, err := os.ReadFile(cell.TraceFile)
+		if err != nil {
+			t.Fatal(err)
+		}
+		return raw
+	}
+
+	a := run("a")
+	b := run("b")
+	if !bytes.Equal(a, b) {
+		t.Fatal("equal-seed runs produced different trace bytes")
+	}
+	if dumps[0] != dumps[1] {
+		t.Fatalf("equal-seed runs produced different metrics dumps:\n%s\nvs\n%s", dumps[0], dumps[1])
+	}
+
+	if !json.Valid(a) {
+		t.Fatal("trace is not valid JSON")
+	}
+	var doc struct {
+		TraceEvents []struct {
+			Name string  `json:"name"`
+			Ph   string  `json:"ph"`
+			Tid  float64 `json:"tid"`
+			Args struct {
+				Name string `json:"name"`
+			} `json:"args"`
+		} `json:"traceEvents"`
+	}
+	if err := json.Unmarshal(a, &doc); err != nil {
+		t.Fatal(err)
+	}
+	// Map tid -> track name from metadata, then collect which tracks carry
+	// real (non-metadata) events.
+	trackName := map[float64]string{}
+	for _, ev := range doc.TraceEvents {
+		if ev.Ph == "M" && ev.Name == "thread_name" {
+			trackName[ev.Tid] = ev.Args.Name
+		}
+	}
+	subsystems := map[string]bool{}
+	for _, ev := range doc.TraceEvents {
+		if ev.Ph == "M" {
+			continue
+		}
+		name := trackName[ev.Tid]
+		if name == "" {
+			t.Fatalf("event on unnamed track tid=%v", ev.Tid)
+		}
+		// Collapse per-instance tracks ("vq:gpu-vq") to their subsystem
+		// prefix so the 5-track requirement counts distinct subsystems.
+		subsystems[strings.SplitN(name, ":", 2)[0]] = true
+	}
+	if len(subsystems) < 5 {
+		t.Fatalf("trace covers %d subsystems (%v), want >= 5", len(subsystems), keys(subsystems))
+	}
+	if !subsystems["faults"] {
+		t.Fatalf("trace has no fault-injector track: %v", keys(subsystems))
+	}
+}
+
+func keys(m map[string]bool) []string {
+	out := make([]string, 0, len(m))
+	for k := range m {
+		out = append(out, k)
+	}
+	return out
+}

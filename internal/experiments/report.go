@@ -170,8 +170,15 @@ func FormatPrediction(r *PredictionResult) string {
 
 // FormatOverhead renders the §5.2 overhead report.
 func FormatOverhead(r *OverheadResult) string {
-	return fmt.Sprintf("Framework overhead (§5.2)\nmemory %.3f MiB (budget 3.1) | CPU %.3f%% (budget 1%%) | fence table peak %d/%d slots\n",
+	s := fmt.Sprintf("Framework overhead (§5.2)\nmemory %.3f MiB (budget 3.1) | CPU %.3f%% (budget 1%%) | fence table peak %d/%d slots\n",
 		float64(r.MemoryBytes)/(1<<20), r.CPUFraction*100, r.FenceTablePeak, r.FenceCapacity)
+	if r.TraceFile != "" {
+		s += "trace " + r.TraceFile + "\n"
+	}
+	if r.MetricsDump != "" {
+		s += "\n== metrics ==\n" + r.MetricsDump
+	}
+	return s
 }
 
 // FormatFig16 renders the write-invalidate latency CDF.

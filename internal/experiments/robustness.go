@@ -45,6 +45,13 @@ type RobustnessCell struct {
 	DMARetries    int
 	Stalls        int
 	DroppedOps    int
+
+	// TraceFile is the per-cell fault-window trace written when the run was
+	// configured with a TracePath ("error: ..." when the write failed);
+	// MetricsDump is the cell's metrics report when Metrics was on. Both are
+	// empty — and omitted from every report — with observability off.
+	TraceFile   string
+	MetricsDump string
 }
 
 // Recovery returns RecoveredFPS as a fraction of BaselineFPS.
@@ -122,7 +129,8 @@ func runRobustnessCell(cfg Config, machine MachineSpec, preset emulator.Preset,
 
 	preset.DeviceWatchdog = robustnessWatchdog
 	seed := appSeed(cfg.Seed, 900+ei, ci, 0)
-	sess := workload.NewSession(preset, machine.New, seed)
+	tr, reg := cellObs(cfg, faultAt, faultFor)
+	sess := workload.NewObservedSession(preset, machine.New, seed, tr, reg)
 	defer sess.Close()
 	mach := sess.Machine
 
@@ -163,9 +171,23 @@ func runRobustnessCell(cfg Config, machine MachineSpec, preset emulator.Preset,
 	})
 
 	cell := RobustnessCell{Emulator: preset.Name, Fault: class}
+	finishObs := func() {
+		if tr != nil {
+			path := cellTracePath(cfg.TracePath, preset.Name, class)
+			if err := writeTraceFile(path, tr); err != nil {
+				cell.TraceFile = "error: " + err.Error()
+			} else {
+				cell.TraceFile = path
+			}
+		}
+		if reg != nil {
+			cell.MetricsDump = reg.FormatText()
+		}
+	}
 	spec := workload.DefaultSpec(emulator.CatUHDVideo, 0, dur)
 	r, err := workload.RunEmerging(sess.Emulator, spec)
 	if err != nil {
+		finishObs()
 		return cell // category unsupported: an empty cell, kept for shape
 	}
 
@@ -186,6 +208,7 @@ func runRobustnessCell(cfg Config, machine MachineSpec, preset emulator.Preset,
 	}
 	cell.Stalls = mach.GPU.Stalls()
 	cell.FenceTimeouts, cell.DroppedOps = deviceTotals(sess.Emulator)
+	finishObs()
 	return cell
 }
 

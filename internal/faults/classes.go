@@ -135,10 +135,10 @@ type thermalFault struct {
 // the temperature model.
 func ThermalExcursion(t *hostsim.Thermal) Fault { return &thermalFault{th: t} }
 
-func (f *thermalFault) Class() Class                             { return ClassThermal }
-func (f *thermalFault) Target() string                           { return "thermal" }
-func (f *thermalFault) inject(i *Injector, now time.Duration)    { f.th.ForceExcursion(true) }
-func (f *thermalFault) clear(i *Injector, now time.Duration)     { f.th.ForceExcursion(false) }
+func (f *thermalFault) Class() Class                          { return ClassThermal }
+func (f *thermalFault) Target() string                        { return "thermal" }
+func (f *thermalFault) inject(i *Injector, now time.Duration) { f.th.ForceExcursion(true) }
+func (f *thermalFault) clear(i *Injector, now time.Duration)  { f.th.ForceExcursion(false) }
 
 // transportFault spikes virtio transport costs.
 type transportFault struct {

@@ -29,6 +29,7 @@ import (
 	"math/rand"
 	"time"
 
+	"repro/internal/obs"
 	"repro/internal/prefetch"
 	"repro/internal/sim"
 )
@@ -94,12 +95,21 @@ type Injector struct {
 	windows []window
 	events  []Event
 	armed   bool
+
+	tr  *obs.Tracer
+	tk  obs.Track
+	ctr *obs.Counter
 }
 
 // NewInjector returns an injector for env. seed drives every probabilistic
 // fault decision (currently DMA loss); schedules themselves are exact.
 func NewInjector(env *sim.Env, seed int64) *Injector {
-	return &Injector{env: env, rng: rand.New(rand.NewSource(seed))}
+	i := &Injector{env: env, rng: rand.New(rand.NewSource(seed))}
+	if i.tr = env.Tracer(); i.tr != nil {
+		i.tk = i.tr.Track("faults")
+	}
+	i.ctr = env.Metrics().Counter("faults.transitions")
+	return i
 }
 
 // BindEngine connects the injector to a prefetch engine, enabling the
@@ -131,16 +141,30 @@ func (i *Injector) Arm() {
 	i.armed = true
 	for _, w := range i.windows {
 		w := w
+		var openedAt time.Duration
 		i.env.After(w.at, func() {
 			now := i.env.Now()
+			openedAt = now
 			i.events = append(i.events, Event{
 				At: now, Class: w.fault.Class(), Target: w.fault.Target(), Phase: "inject"})
+			if i.tr != nil {
+				i.tr.Instant(i.tk, "inject:"+string(w.fault.Class()))
+			}
+			i.ctr.Inc()
 			w.fault.inject(i, now)
 		})
 		i.env.After(w.at+w.dur, func() {
 			now := i.env.Now()
 			i.events = append(i.events, Event{
 				At: now, Class: w.fault.Class(), Target: w.fault.Target(), Phase: "clear"})
+			if i.tr != nil {
+				// One span per fault window, stamped retroactively at close
+				// so its duration reflects the actual open interval.
+				i.tr.SpanAt(i.tk, string(w.fault.Class())+" "+w.fault.Target(),
+					openedAt, now-openedAt)
+				i.tr.Instant(i.tk, "clear:"+string(w.fault.Class()))
+			}
+			i.ctr.Inc()
 			w.fault.clear(i, now)
 		})
 	}

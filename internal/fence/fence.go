@@ -21,6 +21,7 @@ package fence
 import (
 	"fmt"
 
+	"repro/internal/obs"
 	"repro/internal/sim"
 	"repro/internal/virtio"
 )
@@ -61,7 +62,13 @@ func (f *Fence) Signal() {
 	}
 	f.state = stateSignaled
 	f.ev.Signal()
-	f.table.maybeRecycle(false)
+	t := f.table
+	t.maybeRecycle(false)
+	if t.tr != nil {
+		t.tr.Instant(t.tk, "signal")
+		t.tr.Count(t.tk, "in_use", float64(t.InUse()))
+	}
+	t.inUseGauge.Set(float64(t.InUse()))
 }
 
 // Wait parks p until the fence retires. Multiple waiters are allowed.
@@ -90,6 +97,12 @@ type Table struct {
 	allocs   int
 	recycles int
 	peak     int
+
+	tr         *obs.Tracer
+	tk         obs.Track
+	allocCtr   *obs.Counter
+	recycleCtr *obs.Counter
+	inUseGauge *obs.Gauge
 }
 
 // NewTable returns a table backed by a fresh 4 KiB shared page.
@@ -102,6 +115,14 @@ func NewTable(env *sim.Env) *Table {
 	t := &Table{env: env, page: page, slots: make([]*Fence, n)}
 	for i := range t.slots {
 		t.free = append(t.free, i)
+	}
+	if t.tr = env.Tracer(); t.tr != nil {
+		t.tk = t.tr.Track("fences")
+	}
+	if reg := env.Metrics(); reg != nil {
+		t.allocCtr = reg.Counter("fence.allocs")
+		t.recycleCtr = reg.Counter("fence.recycles")
+		t.inUseGauge = reg.Gauge("fence.in_use")
 	}
 	return t
 }
@@ -131,12 +152,20 @@ func (t *Table) maybeRecycle(force bool) {
 	if !force && len(t.free) >= lowWater {
 		return
 	}
+	reclaimed := 0
 	for i, f := range t.slots {
 		if f != nil && f.state == stateSignaled {
 			t.slots[i] = nil
 			t.free = append(t.free, i)
 			t.recycles++
+			reclaimed++
 		}
+	}
+	if reclaimed > 0 {
+		if t.tr != nil {
+			t.tr.Instant(t.tk, "recycle")
+		}
+		t.recycleCtr.Add(int64(reclaimed))
 	}
 }
 
@@ -158,5 +187,11 @@ func (t *Table) Alloc() *Fence {
 	if in := t.InUse(); in > t.peak {
 		t.peak = in
 	}
+	if t.tr != nil {
+		t.tr.Instant(t.tk, "alloc")
+		t.tr.Count(t.tk, "in_use", float64(t.InUse()))
+	}
+	t.allocCtr.Inc()
+	t.inUseGauge.Set(float64(t.InUse()))
 	return f
 }

@@ -4,6 +4,7 @@ import (
 	"math/rand"
 	"time"
 
+	"repro/internal/obs"
 	"repro/internal/sim"
 )
 
@@ -36,6 +37,12 @@ type Link struct {
 	dmaLoss float64
 	lossRng *rand.Rand
 	retries int
+
+	tr       *obs.Tracer
+	tk       obs.Track
+	bytesCtr *obs.Counter
+	retryCtr *obs.Counter
+	degGauge *obs.Gauge
 }
 
 // maxDMARetries bounds re-drives of a lossy DMA transfer so an injected
@@ -48,8 +55,17 @@ func NewLink(env *sim.Env, name string, bandwidth float64, latency time.Duration
 	if bandwidth <= 0 {
 		panic("hostsim: link bandwidth must be positive")
 	}
-	return &Link{Name: name, Bandwidth: bandwidth, SyncBandwidth: bandwidth,
+	l := &Link{Name: name, Bandwidth: bandwidth, SyncBandwidth: bandwidth,
 		Latency: latency, sem: sim.NewSemaphore(env, 1), degrade: 1}
+	if l.tr = env.Tracer(); l.tr != nil {
+		l.tk = l.tr.Track("link:" + name)
+	}
+	if reg := env.Metrics(); reg != nil {
+		l.bytesCtr = reg.Counter("link." + name + ".bytes")
+		l.retryCtr = reg.Counter("link." + name + ".dma_retries")
+		l.degGauge = reg.Gauge("link." + name + ".degradation")
+	}
+	return l
 }
 
 // SetDegradation scales the link's effective bandwidth by f in (0,1];
@@ -60,6 +76,10 @@ func (l *Link) SetDegradation(f float64) {
 		panic("hostsim: link degradation factor must be in (0,1]")
 	}
 	l.degrade = f
+	if l.tr != nil {
+		l.tr.Count(l.tk, "degradation", f)
+	}
+	l.degGauge.Set(f)
 }
 
 // Degradation returns the current bandwidth scale factor (1 = nominal).
@@ -106,6 +126,18 @@ func (l *Link) TransferSync(p *sim.Proc, size Bytes) time.Duration {
 func (l *Link) transfer(p *sim.Proc, size Bytes, sync bool) (time.Duration, time.Duration) {
 	start := p.Now()
 	l.sem.Acquire(p, 1)
+	// The span covers service only (the link is held), not the queueing
+	// delay before it, so spans on one link track never overlap — the
+	// semaphore serializes them FIFO.
+	var sp obs.Span
+	if l.tr != nil {
+		name := "dma"
+		if sync {
+			name = "copy"
+		}
+		sp = l.tr.Begin(l.tk, name)
+		l.tr.Count(l.tk, "queue_depth", float64(l.sem.InUse()))
+	}
 	d := l.TransferTime(size)
 	if sync {
 		d = l.SyncTransferTime(size)
@@ -119,10 +151,18 @@ func (l *Link) transfer(p *sim.Proc, size Bytes, sync bool) (time.Duration, time
 			break
 		}
 		l.retries++
+		if l.tr != nil {
+			l.tr.Instant(l.tk, "dma-retry")
+		}
+		l.retryCtr.Inc()
+	}
+	if l.tr != nil {
+		l.tr.End(l.tk, sp)
 	}
 	l.sem.Release(1)
 	l.moved += size
 	l.busy += service
+	l.bytesCtr.Add(int64(size))
 	return p.Now() - start, service
 }
 

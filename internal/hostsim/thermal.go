@@ -3,6 +3,7 @@ package hostsim
 import (
 	"time"
 
+	"repro/internal/obs"
 	"repro/internal/sim"
 )
 
@@ -34,6 +35,10 @@ type Thermal struct {
 	forced    bool // fault-layer override: throttle regardless of temperature
 	lastTick  time.Duration
 	pending   time.Duration // busy time accumulated since last tick
+
+	tr        *obs.Tracer
+	tk        obs.Track
+	tempGauge *obs.Gauge
 }
 
 // NewThermal returns a thermal model ticking every interval of virtual time.
@@ -42,6 +47,10 @@ type Thermal struct {
 func NewThermal(env *sim.Env, interval time.Duration) *Thermal {
 	t := &Thermal{env: env, ThrottledSpeed: 1, Ambient: 40}
 	t.temp = t.Ambient
+	if t.tr = env.Tracer(); t.tr != nil {
+		t.tk = t.tr.Track("thermal")
+	}
+	t.tempGauge = env.Metrics().Gauge("thermal.temp_c")
 	var tick func()
 	tick = func() {
 		t.step(interval)
@@ -62,12 +71,23 @@ func (t *Thermal) step(interval time.Duration) {
 	if t.temp < t.Ambient {
 		t.temp = t.Ambient
 	}
+	wasThrottled := t.throttled
 	if !t.throttled && t.temp >= t.ThrottleAt && t.ThrottleAt > 0 {
 		t.throttled = true
 	}
 	if t.throttled && t.temp <= t.ResumeAt {
 		t.throttled = false
 	}
+	if t.tr != nil {
+		t.tr.Count(t.tk, "temp_c", t.temp)
+		if t.throttled && !wasThrottled {
+			t.tr.Instant(t.tk, "throttle")
+		}
+		if !t.throttled && wasThrottled {
+			t.tr.Instant(t.tk, "resume")
+		}
+	}
+	t.tempGauge.Set(t.temp)
 }
 
 // Temperature returns the modeled package temperature.
@@ -81,7 +101,16 @@ func (t *Thermal) Throttled() bool { return t.throttled || t.forced }
 // layer uses this for injected throttle excursions; the thermal state keeps
 // evolving underneath, so clearing the excursion returns to whatever the
 // temperature dictates.
-func (t *Thermal) ForceExcursion(on bool) { t.forced = on }
+func (t *Thermal) ForceExcursion(on bool) {
+	if t.tr != nil && on != t.forced {
+		if on {
+			t.tr.Instant(t.tk, "forced-excursion")
+		} else {
+			t.tr.Instant(t.tk, "excursion-clear")
+		}
+	}
+	t.forced = on
+}
 
 // Forced reports whether a forced excursion is active.
 func (t *Thermal) Forced() bool { return t.forced }

@@ -1,0 +1,166 @@
+package obs
+
+import (
+	"time"
+
+	"repro/internal/metrics"
+)
+
+// Registry holds named counters, gauges, and histograms. A nil *Registry
+// is a valid receiver: its getters return nil handles, whose methods are
+// in turn nil-safe no-ops — so instrumented code pays one pointer check
+// when metrics are off.
+//
+// Registration order does not matter; Snapshot sorts by name.
+type Registry struct {
+	counters map[string]*Counter
+	gauges   map[string]*Gauge
+	hists    map[string]*Histogram
+}
+
+// NewRegistry returns an empty registry.
+func NewRegistry() *Registry {
+	return &Registry{
+		counters: make(map[string]*Counter),
+		gauges:   make(map[string]*Gauge),
+		hists:    make(map[string]*Histogram),
+	}
+}
+
+// Counter is a monotonically increasing integer metric.
+type Counter struct{ n int64 }
+
+// Inc adds one.
+func (c *Counter) Inc() {
+	if c == nil {
+		return
+	}
+	c.n++
+}
+
+// Add adds d.
+func (c *Counter) Add(d int64) {
+	if c == nil {
+		return
+	}
+	c.n += d
+}
+
+// Value returns the current count (0 for a nil counter).
+func (c *Counter) Value() int64 {
+	if c == nil {
+		return 0
+	}
+	return c.n
+}
+
+// Gauge is a last-value metric with an EWMA-smoothed companion (the
+// paper's alpha = 0.5 smoother), useful for noisy instantaneous readings
+// like temperature or queue depth.
+type Gauge struct {
+	v    float64
+	n    int64
+	ewma metrics.EWMA
+}
+
+// Set records the current value.
+func (g *Gauge) Set(v float64) {
+	if g == nil {
+		return
+	}
+	g.v = v
+	g.n++
+	g.ewma.Observe(v)
+}
+
+// Value returns the last set value (0 for a nil or never-set gauge).
+func (g *Gauge) Value() float64 {
+	if g == nil {
+		return 0
+	}
+	return g.v
+}
+
+// Smoothed returns the EWMA of set values.
+func (g *Gauge) Smoothed() float64 {
+	if g == nil {
+		return 0
+	}
+	return g.ewma.Value()
+}
+
+// Sets returns how many times the gauge was set.
+func (g *Gauge) Sets() int64 {
+	if g == nil {
+		return 0
+	}
+	return g.n
+}
+
+// Histogram accumulates float64 samples with percentile queries, backed by
+// metrics.Distribution.
+type Histogram struct{ d metrics.Distribution }
+
+// Observe records one sample.
+func (h *Histogram) Observe(v float64) {
+	if h == nil {
+		return
+	}
+	h.d.Add(v)
+}
+
+// ObserveDuration records a duration sample in milliseconds.
+func (h *Histogram) ObserveDuration(v time.Duration) {
+	if h == nil {
+		return
+	}
+	h.d.AddDuration(v)
+}
+
+// Dist exposes the underlying distribution for percentile queries; nil for
+// a nil histogram.
+func (h *Histogram) Dist() *metrics.Distribution {
+	if h == nil {
+		return nil
+	}
+	return &h.d
+}
+
+// Counter returns the named counter, creating it on first use.
+func (r *Registry) Counter(name string) *Counter {
+	if r == nil {
+		return nil
+	}
+	c, ok := r.counters[name]
+	if !ok {
+		c = &Counter{}
+		r.counters[name] = c
+	}
+	return c
+}
+
+// Gauge returns the named gauge, creating it on first use.
+func (r *Registry) Gauge(name string) *Gauge {
+	if r == nil {
+		return nil
+	}
+	g, ok := r.gauges[name]
+	if !ok {
+		g = &Gauge{ewma: *metrics.NewEWMA(metrics.DefaultAlpha)}
+		r.gauges[name] = g
+	}
+	return g
+}
+
+// Histogram returns the named histogram, creating it on first use.
+func (r *Registry) Histogram(name string) *Histogram {
+	if r == nil {
+		return nil
+	}
+	h, ok := r.hists[name]
+	if !ok {
+		h = &Histogram{}
+		r.hists[name] = h
+	}
+	return h
+}

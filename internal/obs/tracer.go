@@ -1,0 +1,263 @@
+// Package obs is the unified virtual-time observability layer: a span
+// tracer whose timestamps come from the simulation clock, a metrics
+// registry of named counters/gauges/histograms, and exporters for
+// Chrome/Perfetto trace-event JSON and plain-text metrics dumps.
+//
+// Determinism rules: the sim is single-threaded, so events are appended in
+// the exact order the simulation produces them; the tracer never reads wall
+// time or process identity; async span IDs come from a deterministic
+// counter. Equal seeds therefore give byte-identical exports.
+//
+// Disabled-path contract: a nil *Tracer and nil *Registry are valid
+// receivers for every method, and nil handles returned by a nil registry
+// are valid receivers for theirs. The cost of disabled observability is one
+// pointer check per call site — no allocation, no interface boxing — so
+// instrumented code behaves identically with observability off.
+package obs
+
+import "time"
+
+// Track identifies one timeline in the trace: a device, a link, a virtio
+// queue, the fence pool, the prefetch engine, the fault injector. Tracks
+// are interned by name; the zero Track is the first one created.
+type Track int32
+
+// Phase is the Chrome trace-event phase of a recorded event.
+type Phase byte
+
+// The event phases the tracer records, matching the trace-event format.
+const (
+	PhaseSpan       Phase = 'X' // complete span: At + Dur
+	PhaseAsyncBegin Phase = 'b' // async span begin, paired by ID
+	PhaseAsyncEnd   Phase = 'e' // async span end, paired by ID
+	PhaseInstant    Phase = 'i' // point event
+	PhaseCounter    Phase = 'C' // sampled counter value
+)
+
+// Event is one recorded trace event in virtual time.
+type Event struct {
+	At    time.Duration
+	Dur   time.Duration // PhaseSpan only
+	Track Track
+	Phase Phase
+	Name  string
+	ID    uint64  // async phases only
+	Value float64 // PhaseCounter only
+}
+
+// Span is the in-flight handle of a synchronous span. It is a value — no
+// allocation per span — and the zero Span (from a nil tracer's Begin) is
+// safely ignored by End.
+type Span struct {
+	name  string
+	start time.Duration
+}
+
+// AsyncSpan is the in-flight handle of an async (overlappable) span.
+type AsyncSpan struct {
+	name string
+	id   uint64
+}
+
+// Tracer records spans, instants, and counter samples stamped with virtual
+// time. All methods are nil-receiver-safe no-ops.
+type Tracer struct {
+	now    func() time.Duration
+	names  []string // track names, indexed by Track
+	byName map[string]Track
+	events []Event
+	nextID uint64
+
+	hasWindow      bool
+	winFrom, winTo time.Duration
+}
+
+// NewTracer returns an empty tracer whose clock reads zero until SetNow.
+func NewTracer() *Tracer {
+	return &Tracer{
+		now:    func() time.Duration { return 0 },
+		byName: make(map[string]Track),
+	}
+}
+
+// SetNow installs the virtual clock. sim.Env.SetTracer calls this; tests
+// may install their own.
+func (t *Tracer) SetNow(fn func() time.Duration) {
+	if t == nil || fn == nil {
+		return
+	}
+	t.now = fn
+}
+
+// SetWindow restricts recording to events overlapping [from, to]. Spans
+// are kept when any part of them overlaps the window; instants, counters,
+// and async edges are kept by their own timestamp, so an async span
+// straddling a window edge may lose one side (Perfetto tolerates unmatched
+// async edges). Used to bound trace size to a fault window.
+func (t *Tracer) SetWindow(from, to time.Duration) {
+	if t == nil {
+		return
+	}
+	t.hasWindow = true
+	t.winFrom, t.winTo = from, to
+}
+
+// inWindow reports whether [from, to] overlaps the recording window.
+func (t *Tracer) inWindow(from, to time.Duration) bool {
+	if !t.hasWindow {
+		return true
+	}
+	return to >= t.winFrom && from <= t.winTo
+}
+
+// Track interns a named track, creating it on first use. Creation order is
+// simulation order, hence deterministic.
+func (t *Tracer) Track(name string) Track {
+	if t == nil {
+		return 0
+	}
+	if tk, ok := t.byName[name]; ok {
+		return tk
+	}
+	tk := Track(len(t.names))
+	t.names = append(t.names, name)
+	t.byName[name] = tk
+	return tk
+}
+
+// TrackName returns the name a track was interned under.
+func (t *Tracer) TrackName(tk Track) string {
+	if t == nil || int(tk) >= len(t.names) {
+		return ""
+	}
+	return t.names[tk]
+}
+
+// Tracks returns the number of interned tracks.
+func (t *Tracer) Tracks() int {
+	if t == nil {
+		return 0
+	}
+	return len(t.names)
+}
+
+// Begin opens a synchronous span on tk. Use for work that cannot overlap
+// itself on the track (a single executor process); overlappable work wants
+// BeginAsync.
+func (t *Tracer) Begin(tk Track, name string) Span {
+	if t == nil {
+		return Span{}
+	}
+	return Span{name: name, start: t.now()}
+}
+
+// End closes a span begun with Begin, recording one complete ('X') event.
+func (t *Tracer) End(tk Track, sp Span) {
+	if t == nil || sp.name == "" {
+		return
+	}
+	end := t.now()
+	if !t.inWindow(sp.start, end) {
+		return
+	}
+	t.events = append(t.events, Event{
+		At: sp.start, Dur: end - sp.start, Track: tk, Phase: PhaseSpan, Name: sp.name,
+	})
+}
+
+// SpanAt records a complete span with an explicit start and duration —
+// for windows known only in retrospect (a fault window at its clearing
+// edge) or known in advance (a prefetch suspension interval).
+func (t *Tracer) SpanAt(tk Track, name string, start, dur time.Duration) {
+	if t == nil || !t.inWindow(start, start+dur) {
+		return
+	}
+	t.events = append(t.events, Event{
+		At: start, Dur: dur, Track: tk, Phase: PhaseSpan, Name: name,
+	})
+}
+
+// BeginAsync opens an async span with a fresh deterministic ID, recording
+// its begin edge immediately.
+func (t *Tracer) BeginAsync(tk Track, name string) AsyncSpan {
+	if t == nil {
+		return AsyncSpan{}
+	}
+	t.nextID++
+	id := t.nextID
+	t.AsyncBegin(tk, name, id)
+	return AsyncSpan{name: name, id: id}
+}
+
+// EndAsync records the end edge of an async span begun with BeginAsync.
+func (t *Tracer) EndAsync(tk Track, sp AsyncSpan) {
+	if t == nil || sp.name == "" {
+		return
+	}
+	t.AsyncEnd(tk, sp.name, sp.id)
+}
+
+// AsyncBegin records an async begin edge under a caller-chosen ID — for
+// spans whose two edges are recorded by different processes (a command's
+// queue residency: the guest dispatches, the host receives). IDs need only
+// be unique per (track, name) among concurrently open spans.
+func (t *Tracer) AsyncBegin(tk Track, name string, id uint64) {
+	if t == nil {
+		return
+	}
+	at := t.now()
+	if !t.inWindow(at, at) {
+		return
+	}
+	t.events = append(t.events, Event{
+		At: at, Track: tk, Phase: PhaseAsyncBegin, Name: name, ID: id,
+	})
+}
+
+// AsyncEnd records the matching async end edge.
+func (t *Tracer) AsyncEnd(tk Track, name string, id uint64) {
+	if t == nil {
+		return
+	}
+	at := t.now()
+	if !t.inWindow(at, at) {
+		return
+	}
+	t.events = append(t.events, Event{
+		At: at, Track: tk, Phase: PhaseAsyncEnd, Name: name, ID: id,
+	})
+}
+
+// Instant records a point event.
+func (t *Tracer) Instant(tk Track, name string) {
+	if t == nil {
+		return
+	}
+	at := t.now()
+	if !t.inWindow(at, at) {
+		return
+	}
+	t.events = append(t.events, Event{At: at, Track: tk, Phase: PhaseInstant, Name: name})
+}
+
+// Count records a sampled counter value. The exporter namespaces the
+// counter by its track, so equally named counters on different tracks stay
+// distinct.
+func (t *Tracer) Count(tk Track, name string, v float64) {
+	if t == nil {
+		return
+	}
+	at := t.now()
+	if !t.inWindow(at, at) {
+		return
+	}
+	t.events = append(t.events, Event{At: at, Track: tk, Phase: PhaseCounter, Name: name, Value: v})
+}
+
+// Events returns the recorded event stream in recording order.
+func (t *Tracer) Events() []Event {
+	if t == nil {
+		return nil
+	}
+	return t.events
+}

@@ -19,6 +19,7 @@ import (
 	"time"
 
 	"repro/internal/hypergraph"
+	"repro/internal/obs"
 )
 
 // Stat names recorded on hypergraph edges.
@@ -79,6 +80,11 @@ type Engine struct {
 	suspendedUntil      time.Duration
 	suspensions         int
 	maxBandwidth        map[string]float64 // per transfer path
+
+	tr      *obs.Tracer
+	tk      obs.Track
+	suspCtr *obs.Counter
+	missCtr *obs.Counter
 }
 
 // New returns an engine reading flow state from twin.
@@ -90,6 +96,18 @@ func New(twin *hypergraph.Twin, cfg Config) *Engine {
 		cfg.BandwidthFloor = 0.5
 	}
 	return &Engine{cfg: cfg, twin: twin, maxBandwidth: make(map[string]float64)}
+}
+
+// SetObs attaches the observability layer (either argument may be nil).
+// The owning SVM manager calls this at construction; the engine does not
+// hold a sim.Env, so the tracer arrives pre-bound to the virtual clock.
+func (e *Engine) SetObs(tr *obs.Tracer, reg *obs.Registry) {
+	e.tr = tr
+	if tr != nil {
+		e.tk = tr.Track("prefetch")
+	}
+	e.suspCtr = reg.Counter("prefetch.suspensions")
+	e.missCtr = reg.Counter("prefetch.mispredictions")
 }
 
 // Predict produces the prefetch decision for a write of size bytes to the
@@ -172,6 +190,10 @@ func (e *Engine) RecordOutcome(correct bool, now time.Duration) {
 		e.consecutiveFailures = 0
 		return
 	}
+	if e.tr != nil {
+		e.tr.Instant(e.tk, "mispredict")
+	}
+	e.missCtr.Inc()
 	e.consecutiveFailures++
 	if e.consecutiveFailures >= e.cfg.FailureLimit {
 		e.suspend(now)
@@ -190,6 +212,9 @@ func (e *Engine) ObserveBandwidth(path string, bps float64, now time.Duration) {
 		e.maxBandwidth[path] = bps
 	}
 	if max := e.maxBandwidth[path]; max > 0 && bps < e.cfg.BandwidthFloor*max {
+		if e.tr != nil {
+			e.tr.Instant(e.tk, "bandwidth-floor")
+		}
 		e.suspend(now)
 	}
 }
@@ -209,8 +234,20 @@ func (e *Engine) SeedPathMax(path string, bps float64) {
 func (e *Engine) suspend(now time.Duration) {
 	until := now + e.cfg.SuspendFor
 	if until > e.suspendedUntil {
+		if e.tr != nil {
+			// The span covers the suspension; an extension of an active
+			// one records only the added tail, so suspension spans on the
+			// track stay contiguous rather than overlapping. Resumption is
+			// the span's right edge.
+			start := now
+			if e.suspendedUntil > now {
+				start = e.suspendedUntil
+			}
+			e.tr.SpanAt(e.tk, "suspended", start, until-start)
+		}
 		e.suspendedUntil = until
 		e.suspensions++
+		e.suspCtr.Inc()
 	}
 }
 

@@ -4,6 +4,8 @@ import (
 	"fmt"
 	"math/rand"
 	"time"
+
+	"repro/internal/obs"
 )
 
 // Time is a point on the simulation's virtual clock, expressed as the
@@ -92,6 +94,12 @@ type Env struct {
 
 	timerFree  *timerRec // recycled cancellation records
 	waiterFree *waiter   // recycled park registrations
+
+	// Observability attachments, both optional (nil = disabled). They live
+	// on the Env so every subsystem constructed against it finds them
+	// without signature changes; the scheduler itself never touches them.
+	tracer  *obs.Tracer
+	metrics *obs.Registry
 }
 
 // NewEnv returns a fresh environment whose clock reads zero. The seed fixes
@@ -109,6 +117,25 @@ func (e *Env) Now() Time { return e.now }
 
 // Rand returns the environment's deterministic random stream.
 func (e *Env) Rand() *rand.Rand { return e.rng }
+
+// SetTracer attaches a span tracer (nil disables tracing) and binds its
+// clock to this environment's virtual time. Attach before constructing
+// subsystems: they capture the tracer at construction.
+func (e *Env) SetTracer(t *obs.Tracer) {
+	e.tracer = t
+	t.SetNow(func() time.Duration { return e.now })
+}
+
+// Tracer returns the attached tracer, nil when tracing is disabled.
+func (e *Env) Tracer() *obs.Tracer { return e.tracer }
+
+// SetMetrics attaches a metrics registry (nil disables metrics). Attach
+// before constructing subsystems: they create their instruments at
+// construction.
+func (e *Env) SetMetrics(r *obs.Registry) { e.metrics = r }
+
+// Metrics returns the attached registry, nil when metrics are disabled.
+func (e *Env) Metrics() *obs.Registry { return e.metrics }
 
 // schedule inserts an event at absolute time at (clamped to now).
 func (e *Env) schedule(at Time, p *Proc, fn func()) {

@@ -5,6 +5,7 @@ import (
 
 	"repro/internal/hostsim"
 	"repro/internal/hypergraph"
+	"repro/internal/obs"
 	"repro/internal/prefetch"
 	"repro/internal/sim"
 )
@@ -45,6 +46,15 @@ func (m *Manager) BeginAccess(p *sim.Proc, id RegionID, acc Accessor, usage Usag
 		return nil, ErrBadSize
 	}
 	start := p.Now()
+	var asp obs.AsyncSpan
+	var tk obs.Track
+	if m.tr != nil {
+		// Async rather than a complete span: several guest processes can
+		// share one accessor name, so begin_access intervals on a track may
+		// overlap.
+		tk = m.trackFor(acc.Name)
+		asp = m.tr.BeginAsync(tk, "begin_access")
+	}
 	m.materialize(r)
 	r.noteDomain(acc.Domain)
 	if m.cfg.AccessBaseCost > 0 {
@@ -56,6 +66,10 @@ func (m *Manager) BeginAccess(p *sim.Proc, id RegionID, acc Accessor, usage Usag
 		m.proto.ensureReadable(p, r, acc, bytes)
 	}
 
+	if m.tr != nil {
+		m.tr.EndAsync(tk, asp)
+	}
+	m.om.accessLatency.ObserveDuration(p.Now() - start)
 	m.stats.AccessLatency.AddDuration(p.Now() - start)
 	if acc.CPU {
 		m.stats.HALAccessLatency.AddDuration(p.Now() - start)
@@ -64,11 +78,14 @@ func (m *Manager) BeginAccess(p *sim.Proc, id RegionID, acc Accessor, usage Usag
 		m.observer(start, acc, r.ID, bytes, usage, p.Now()-start)
 	}
 	m.stats.Accesses++
+	m.om.accesses.Inc()
 	if usage.reads() {
 		m.stats.Reads++
+		m.om.reads.Inc()
 	}
 	if usage.writes() {
 		m.stats.Writes++
+		m.om.writes.Inc()
 	}
 	return &Access{m: m, r: r, acc: acc, usage: usage, bytes: bytes, started: start}, nil
 }
@@ -156,6 +173,13 @@ func (a *Access) End(p *sim.Proc) (EndInfo, error) {
 		return EndInfo{}, ErrFreed
 	}
 	if a.usage.writes() {
+		var asp obs.AsyncSpan
+		var tk obs.Track
+		if m.tr != nil {
+			tk = m.trackFor(a.acc.Name)
+			asp = m.tr.BeginAsync(tk, "commit")
+			defer func() { m.tr.EndAsync(tk, asp) }()
+		}
 		// Unconsumed pushed copies of the previous version are waste.
 		for _, dom := range r.accessedDomains {
 			if r.delivered[dom] && r.copies[dom] == r.version {

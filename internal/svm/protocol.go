@@ -4,6 +4,7 @@ import (
 	"time"
 
 	"repro/internal/hostsim"
+	"repro/internal/obs"
 	"repro/internal/prefetch"
 	"repro/internal/sim"
 )
@@ -30,6 +31,7 @@ func (m *Manager) copyCoherence(p *sim.Proc, from, to *hostsim.Domain, bytes hos
 	}
 	_, service := m.mach.CopyDetailed(p, from, to, bytes, sync)
 	elapsed := p.Now() - start
+	m.om.coherenceCost.ObserveDuration(elapsed)
 	m.stats.CoherenceCost.AddDuration(elapsed)
 	m.stats.BytesCoherence += bytes
 	if direct {
@@ -51,6 +53,10 @@ func (m *Manager) copyCoherence(p *sim.Proc, from, to *hostsim.Domain, bytes hos
 // using the slow synchronous copy path.
 func (m *Manager) demandFetch(p *sim.Proc, r *Region, acc Accessor, bytes hostsim.Bytes, direct bool) {
 	m.stats.DemandFetches++
+	m.om.demandFetches.Inc()
+	if m.tr != nil {
+		m.tr.Instant(m.trackFor(acc.Name), "demand-fetch")
+	}
 	from := r.owner
 	if !direct {
 		from = m.mach.Guest
@@ -70,7 +76,14 @@ func (m *Manager) asyncPush(r *Region, from, dom *hostsim.Domain, bytes hostsim.
 	inf := &inflightFetch{done: sim.NewEvent(m.env), version: version, started: m.env.Now()}
 	r.inflight[dom] = inf
 	m.env.Spawn("svm-push", func(hp *sim.Proc) {
+		var asp obs.AsyncSpan
+		if m.tr != nil {
+			asp = m.tr.BeginAsync(m.prefTk, "push:"+from.Name+"->"+dom.Name)
+		}
 		elapsed := m.copyCoherence(hp, from, dom, bytes, true, false)
+		if m.tr != nil {
+			m.tr.EndAsync(m.prefTk, asp)
+		}
 		if !r.freed && r.version == version {
 			r.copies[dom] = version
 			r.delivered[dom] = true
@@ -105,6 +118,7 @@ func (m *Manager) awaitOrDemand(p *sim.Proc, r *Region, acc Accessor, bytes host
 		if r.delivered[acc.Domain] {
 			r.delivered[acc.Domain] = false
 			m.stats.PrefetchHits++
+			m.om.prefetchHits.Inc()
 		} else if acc.Domain == r.owner {
 			m.stats.SameDomainHits++
 		}
@@ -112,6 +126,7 @@ func (m *Manager) awaitOrDemand(p *sim.Proc, r *Region, acc Accessor, bytes host
 	}
 	if inf := r.inflight[acc.Domain]; inf != nil && inf.version == r.version {
 		m.stats.PrefetchWaits++
+		m.om.prefetchWaits.Inc()
 		inf.done.Wait(p)
 		if r.HasCurrentCopy(acc.Domain) {
 			r.delivered[acc.Domain] = false

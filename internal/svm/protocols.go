@@ -28,6 +28,13 @@ func (pp *prefetchProtocol) onWriteEnd(p *sim.Proc, r *Region, acc Accessor, byt
 	if !ok || m.engine.Suspended(now) {
 		return 0
 	}
+	if m.tr != nil {
+		name := "predict"
+		if pred.ZeroShot {
+			name = "predict:zero-shot"
+		}
+		m.tr.Instant(m.prefTk, name)
+	}
 	r.predValid = true
 	r.predReaders = pred.Readers
 	r.predTimed = pred.HaveTiming

@@ -18,6 +18,7 @@ import (
 
 	"repro/internal/hostsim"
 	"repro/internal/hypergraph"
+	"repro/internal/obs"
 	"repro/internal/prefetch"
 	"repro/internal/sim"
 )
@@ -153,6 +154,22 @@ type Manager struct {
 
 	stats    Stats
 	observer AccessObserver
+
+	// Observability (all nil-safe when tracing/metrics are off). Accessor
+	// tracks are interned lazily: most runs touch a handful of accessors.
+	tr     *obs.Tracer
+	prefTk obs.Track
+	accTk  map[string]obs.Track
+	om     struct {
+		accesses      *obs.Counter
+		reads         *obs.Counter
+		writes        *obs.Counter
+		demandFetches *obs.Counter
+		prefetchHits  *obs.Counter
+		prefetchWaits *obs.Counter
+		accessLatency *obs.Histogram
+		coherenceCost *obs.Histogram
+	}
 }
 
 // AccessObserver receives every completed BeginAccess — the instrumentation
@@ -170,9 +187,23 @@ func NewManager(env *sim.Env, mach *hostsim.Machine, cfg Config) *Manager {
 		regions:    make(map[RegionID]*Region),
 		physDomain: make(map[hypergraph.NodeID]*hostsim.Domain),
 	}
+	if m.tr = env.Tracer(); m.tr != nil {
+		m.prefTk = m.tr.Track("prefetch")
+		m.accTk = make(map[string]obs.Track)
+	}
+	reg := env.Metrics()
+	m.om.accesses = reg.Counter("svm.accesses")
+	m.om.reads = reg.Counter("svm.reads")
+	m.om.writes = reg.Counter("svm.writes")
+	m.om.demandFetches = reg.Counter("svm.demand_fetches")
+	m.om.prefetchHits = reg.Counter("svm.prefetch_hits")
+	m.om.prefetchWaits = reg.Counter("svm.prefetch_waits")
+	m.om.accessLatency = reg.Histogram("svm.access_latency_ms")
+	m.om.coherenceCost = reg.Histogram("svm.coherence_cost_ms")
 	switch cfg.Kind {
 	case KindPrefetch:
 		m.engine = prefetch.New(m.twin, cfg.Prefetch)
+		m.engine.SetObs(m.tr, reg)
 		m.proto = &prefetchProtocol{m: m}
 	case KindWriteInvalidate:
 		m.proto = &writeInvalidateProtocol{m: m}
@@ -184,6 +215,17 @@ func NewManager(env *sim.Env, mach *hostsim.Machine, cfg Config) *Manager {
 		panic(fmt.Sprintf("svm: unknown protocol kind %d", cfg.Kind))
 	}
 	return m
+}
+
+// trackFor interns the trace track of one accessor. Only called with a
+// non-nil tracer.
+func (m *Manager) trackFor(name string) obs.Track {
+	tk, ok := m.accTk[name]
+	if !ok {
+		tk = m.tr.Track("svm:" + name)
+		m.accTk[name] = tk
+	}
+	return tk
 }
 
 // Env returns the simulation environment.

@@ -1,0 +1,38 @@
+package trace
+
+import (
+	"fmt"
+	"sort"
+	"strings"
+)
+
+// Report renders the collector's aggregates as text with a fully specified
+// order, so equal event sequences always produce byte-identical reports:
+// per-owner totals sort by bytes descending then caller name (the TopUsers
+// order), and per-region rows sort by region ID ascending. Nothing in the
+// report depends on Go map iteration order.
+func (c *Collector) Report() string {
+	var b strings.Builder
+	fmt.Fprintf(&b, "events %d, regions %d, total %d bytes\n",
+		len(c.events), len(c.regions), c.total)
+	fmt.Fprintf(&b, "few-sharer fraction %.4f, cyclic fraction %.4f\n",
+		c.FewSharerFraction(), c.CyclicFraction())
+
+	b.WriteString("owners:\n")
+	for _, u := range c.TopUsers(0) {
+		fmt.Fprintf(&b, "  %-24s %12d bytes  %6.2f%%\n", u.Caller, u.Bytes, 100*u.Share)
+	}
+
+	ids := make([]uint64, 0, len(c.regions))
+	for id := range c.regions {
+		ids = append(ids, id)
+	}
+	sort.Slice(ids, func(i, j int) bool { return ids[i] < ids[j] })
+	b.WriteString("regions:\n")
+	for _, id := range ids {
+		rs := c.regions[id]
+		fmt.Fprintf(&b, "  %6d: ops %5d, callers %2d, transitions %5d, cyclic %5d\n",
+			id, rs.ops, len(rs.callers), rs.transitions, rs.cyclic)
+	}
+	return b.String()
+}

@@ -1,0 +1,93 @@
+package trace
+
+import (
+	"strings"
+	"testing"
+	"time"
+)
+
+// reportEvents is a fixture with enough distinct callers and regions that a
+// map-iteration-ordered report would be overwhelmingly likely to differ
+// between two builds of the same data.
+func reportEvents() []Event {
+	callers := []string{
+		"surfaceflinger", "media-service", "camera-service",
+		"network-stack", "app-process", "audio-service",
+		"sensor-hub", "gps-service",
+	}
+	var evs []Event
+	for i := 0; i < 200; i++ {
+		evs = append(evs, Event{
+			At:       time.Duration(i) * time.Millisecond,
+			Caller:   callers[i%len(callers)],
+			Region:   uint64(i % 17),
+			Bytes:    int64(1000 + i*7),
+			Write:    i%3 == 0,
+			Duration: time.Duration(i) * time.Microsecond,
+		})
+	}
+	return evs
+}
+
+func buildCollector(evs []Event) *Collector {
+	c := NewCollector()
+	for _, ev := range evs {
+		c.Record(ev)
+	}
+	return c
+}
+
+// TestReportDeterministic feeds the same event sequence to two independent
+// collectors and requires byte-identical reports: the per-owner and
+// per-region aggregates must be explicitly sorted, never map-ordered.
+func TestReportDeterministic(t *testing.T) {
+	evs := reportEvents()
+	a := buildCollector(evs).Report()
+	b := buildCollector(evs).Report()
+	if a != b {
+		t.Fatalf("reports differ between identical collectors:\n--- first ---\n%s\n--- second ---\n%s", a, b)
+	}
+	if !strings.Contains(a, "owners:") || !strings.Contains(a, "regions:") {
+		t.Fatalf("report missing sections:\n%s", a)
+	}
+}
+
+// TestReportOwnerOrder checks the documented owner order: bytes descending,
+// ties broken by name.
+func TestReportOwnerOrder(t *testing.T) {
+	c := NewCollector()
+	c.Record(Event{Caller: "b", Region: 1, Bytes: 10})
+	c.Record(Event{Caller: "a", Region: 2, Bytes: 10})
+	c.Record(Event{Caller: "z", Region: 3, Bytes: 99})
+	rep := c.Report()
+	zi := strings.Index(rep, "z ")
+	ai := strings.Index(rep, "a ")
+	bi := strings.Index(rep, "b ")
+	if zi == -1 || ai == -1 || bi == -1 || !(zi < ai && ai < bi) {
+		t.Fatalf("owner order wrong (want z, a, b):\n%s", rep)
+	}
+}
+
+// TestAndroidServiceOf covers every mapped device name and the unknown-name
+// passthrough.
+func TestAndroidServiceOf(t *testing.T) {
+	cases := map[string]string{
+		"codec":          "media-service",
+		"gpu":            "surfaceflinger",
+		"display":        "surfaceflinger",
+		"camera":         "camera-service",
+		"isp":            "camera-service",
+		"nic":            "network-stack",
+		"modem":          "network-stack",
+		"cpu":            "app-process",
+		"npu":            "npu",        // unmapped device passes through
+		"some-thing":     "some-thing", // arbitrary strings pass through
+		"":               "",
+		"surfaceflinger": "surfaceflinger", // already a service name
+	}
+	for in, want := range cases {
+		if got := AndroidServiceOf(in); got != want {
+			t.Errorf("AndroidServiceOf(%q) = %q, want %q", in, got, want)
+		}
+	}
+}

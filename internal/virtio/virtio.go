@@ -12,6 +12,7 @@ package virtio
 import (
 	"time"
 
+	"repro/internal/obs"
 	"repro/internal/sim"
 )
 
@@ -101,12 +102,25 @@ type Ring struct {
 	q     *sim.Queue[*Command]
 	seq   uint64
 	stats Stats
+
+	tr      *obs.Tracer
+	tk      obs.Track
+	cmdCtr  *obs.Counter
+	kickCtr *obs.Counter
 }
 
 // NewRing returns a ring with unbounded descriptor capacity (flow control
 // is layered above, see internal/flowcontrol).
 func NewRing(env *sim.Env, name string, cfg Config) *Ring {
-	return &Ring{Name: name, env: env, cfg: cfg, q: sim.NewQueue[*Command](env, 0)}
+	r := &Ring{Name: name, env: env, cfg: cfg, q: sim.NewQueue[*Command](env, 0)}
+	if r.tr = env.Tracer(); r.tr != nil {
+		r.tk = r.tr.Track("vq:" + name)
+	}
+	if reg := env.Metrics(); reg != nil {
+		r.cmdCtr = reg.Counter("vq." + name + ".commands")
+		r.kickCtr = reg.Counter("vq." + name + ".kicks")
+	}
+	return r
 }
 
 // NewCommand builds a command bound to this ring's sequence space.
@@ -127,20 +141,50 @@ func (r *Ring) DispatchBatch(p *sim.Proc, cmds []*Command) {
 	if len(cmds) == 0 {
 		return
 	}
+	var sp obs.Span
+	if r.tr != nil {
+		sp = r.tr.Begin(r.tk, "dispatch")
+	}
 	p.Sleep(r.cfg.Scaled(time.Duration(len(cmds))*r.cfg.PerCommandCost + r.cfg.KickCost))
 	for _, c := range cmds {
 		c.EnqueuedAt = p.Now()
 		r.stats.Commands++
+		if r.tr != nil {
+			// Queue-residency leg: ends when the host executor receives
+			// the command in Recv.
+			r.tr.AsyncBegin(r.tk, "queued", c.Seq)
+		}
 		r.q.Put(p, c)
 	}
 	r.stats.Kicks++
+	if r.tr != nil {
+		r.tr.End(r.tk, sp)
+		r.tr.Instant(r.tk, "kick")
+		r.tr.Count(r.tk, "pending", float64(r.q.Len()))
+	}
+	r.cmdCtr.Add(int64(len(cmds)))
+	r.kickCtr.Inc()
 }
 
 // Recv blocks the host device process until a command arrives.
-func (r *Ring) Recv(p *sim.Proc) *Command { return r.q.Get(p) }
+func (r *Ring) Recv(p *sim.Proc) *Command {
+	c := r.q.Get(p)
+	if r.tr != nil {
+		r.tr.AsyncEnd(r.tk, "queued", c.Seq)
+		r.tr.Count(r.tk, "pending", float64(r.q.Len()))
+	}
+	return c
+}
 
 // TryRecv pops a command without blocking.
-func (r *Ring) TryRecv() (*Command, bool) { return r.q.TryGet() }
+func (r *Ring) TryRecv() (*Command, bool) {
+	c, ok := r.q.TryGet()
+	if ok && r.tr != nil {
+		r.tr.AsyncEnd(r.tk, "queued", c.Seq)
+		r.tr.Count(r.tk, "pending", float64(r.q.Len()))
+	}
+	return c, ok
+}
 
 // Pending returns the queued command count.
 func (r *Ring) Pending() int { return r.q.Len() }
@@ -157,17 +201,30 @@ type IRQLine struct {
 	cfg   Config
 	q     *sim.Queue[any]
 	count int
+
+	tr       *obs.Tracer
+	tk       obs.Track
+	raiseCtr *obs.Counter
 }
 
 // NewIRQLine returns an interrupt line.
 func NewIRQLine(env *sim.Env, name string, cfg Config) *IRQLine {
-	return &IRQLine{Name: name, env: env, cfg: cfg, q: sim.NewQueue[any](env, 0)}
+	l := &IRQLine{Name: name, env: env, cfg: cfg, q: sim.NewQueue[any](env, 0)}
+	if l.tr = env.Tracer(); l.tr != nil {
+		l.tk = l.tr.Track("irq:" + name)
+	}
+	l.raiseCtr = env.Metrics().Counter("irq." + name + ".raised")
+	return l
 }
 
 // Raise injects an interrupt carrying v. Host side; costless for the
 // raiser beyond scheduling.
 func (l *IRQLine) Raise(v any) {
 	l.count++
+	if l.tr != nil {
+		l.tr.Instant(l.tk, "raise")
+	}
+	l.raiseCtr.Inc()
 	l.q.TryPut(v)
 }
 
@@ -175,7 +232,14 @@ func (l *IRQLine) Raise(v any) {
 // guest-side handling cost.
 func (l *IRQLine) Wait(p *sim.Proc) any {
 	v := l.q.Get(p)
+	var sp obs.Span
+	if l.tr != nil {
+		sp = l.tr.Begin(l.tk, "irq-handle")
+	}
 	p.Sleep(l.cfg.Scaled(l.cfg.IRQCost))
+	if l.tr != nil {
+		l.tr.End(l.tk, sp)
+	}
 	return v
 }
 

@@ -7,6 +7,7 @@ import (
 	"repro/internal/emulator"
 	"repro/internal/guest"
 	"repro/internal/hostsim"
+	"repro/internal/obs"
 	"repro/internal/sim"
 	"repro/internal/svm"
 )
@@ -157,7 +158,21 @@ type Session struct {
 // NewSession builds an isolated run (one app on one emulator on one
 // machine), seeded deterministically.
 func NewSession(preset emulator.Preset, machineFn func(*sim.Env) *hostsim.Machine, seed int64) *Session {
+	return NewObservedSession(preset, machineFn, seed, nil, nil)
+}
+
+// NewObservedSession is NewSession with an observability layer attached
+// before the emulator is assembled, so every subsystem picks up its tracks
+// and metric handles at construction. Either of tr and reg may be nil.
+func NewObservedSession(preset emulator.Preset, machineFn func(*sim.Env) *hostsim.Machine,
+	seed int64, tr *obs.Tracer, reg *obs.Registry) *Session {
 	env := sim.NewEnv(seed)
+	if tr != nil {
+		env.SetTracer(tr)
+	}
+	if reg != nil {
+		env.SetMetrics(reg)
+	}
 	mach := machineFn(env)
 	return &Session{Env: env, Machine: mach, Emulator: emulator.New(env, mach, preset)}
 }
