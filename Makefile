@@ -4,9 +4,9 @@
 
 GO ?= go
 
-.PHONY: check build vet test race bench-smoke chaos-smoke trace-smoke verify
+.PHONY: check build vet test docs-check race bench-smoke chaos-smoke trace-smoke verify
 
-check: vet build test
+check: vet build test docs-check
 
 build:
 	$(GO) build ./...
@@ -16,6 +16,12 @@ vet:
 
 test:
 	$(GO) test ./...
+
+# Documentation gate: every internal package doc must name its paper section
+# and determinism contract, and README/DESIGN/EXPERIMENTS must not reference
+# paths that left the tree.
+docs-check:
+	$(GO) run ./cmd/docscheck .
 
 # The sim scheduler and the experiment fan-out are the only concurrent code;
 # everything else is single-goroutine simulation.

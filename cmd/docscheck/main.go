@@ -1,0 +1,140 @@
+// Command docscheck lints the repository's documentation contract.
+//
+// Two checks, both stdlib-only:
+//
+//  1. Every package under internal/ must carry a package doc comment that
+//     names the paper section it reproduces (a "§" reference) and states
+//     its determinism contract (a word with the stem "determin").
+//     Test-only packages — packages whose non-test file set is empty —
+//     are skipped; their doc lives in the _test.go files.
+//
+//  2. The top-level markdown documents (README.md, DESIGN.md,
+//     EXPERIMENTS.md) must not reference repository paths that do not
+//     exist: backtick-quoted `cmd/...`, `internal/...`, `examples/...`
+//     paths and bare *.md names are resolved against the working tree.
+//
+// Usage: docscheck [repo root] (defaults to "."). Exits non-zero with one
+// line per violation; prints nothing on success.
+package main
+
+import (
+	"fmt"
+	"go/parser"
+	"go/token"
+	"io/fs"
+	"os"
+	"path/filepath"
+	"regexp"
+	"sort"
+	"strings"
+)
+
+func main() {
+	root := "."
+	if len(os.Args) > 1 {
+		root = os.Args[1]
+	}
+	var problems []string
+	problems = append(problems, checkPackageDocs(root)...)
+	problems = append(problems, checkMarkdownRefs(root)...)
+	if len(problems) > 0 {
+		for _, p := range problems {
+			fmt.Fprintln(os.Stderr, p)
+		}
+		fmt.Fprintf(os.Stderr, "docscheck: %d problem(s)\n", len(problems))
+		os.Exit(1)
+	}
+}
+
+// checkPackageDocs walks internal/ and verifies each package's doc comment.
+func checkPackageDocs(root string) []string {
+	var problems []string
+	dirs := map[string]bool{}
+	err := filepath.WalkDir(filepath.Join(root, "internal"), func(path string, d fs.DirEntry, err error) error {
+		if err != nil {
+			return err
+		}
+		if d.IsDir() {
+			dirs[path] = true
+		}
+		return nil
+	})
+	if err != nil {
+		return []string{fmt.Sprintf("docscheck: walking internal/: %v", err)}
+	}
+	var sorted []string
+	for d := range dirs {
+		sorted = append(sorted, d)
+	}
+	// WalkDir visits lexically; the map loses that, restore it.
+	sort.Strings(sorted)
+	for _, dir := range sorted {
+		fset := token.NewFileSet()
+		pkgs, err := parser.ParseDir(fset, dir, func(fi fs.FileInfo) bool {
+			return !strings.HasSuffix(fi.Name(), "_test.go")
+		}, parser.PackageClauseOnly|parser.ParseComments)
+		if err != nil {
+			problems = append(problems, fmt.Sprintf("%s: parse: %v", rel(root, dir), err))
+			continue
+		}
+		for name, pkg := range pkgs {
+			doc := ""
+			for _, f := range pkg.Files {
+				if f.Doc != nil {
+					doc += f.Doc.Text()
+				}
+			}
+			switch {
+			case doc == "":
+				problems = append(problems, fmt.Sprintf(
+					"%s: package %s has no package doc comment", rel(root, dir), name))
+			case !strings.Contains(doc, "§"):
+				problems = append(problems, fmt.Sprintf(
+					"%s: package %s doc names no paper section (no \"§\")", rel(root, dir), name))
+			case !strings.Contains(strings.ToLower(doc), "determin"):
+				problems = append(problems, fmt.Sprintf(
+					"%s: package %s doc states no determinism contract", rel(root, dir), name))
+			}
+		}
+		// ParseDir with a no-test filter yields nothing for test-only
+		// packages (e.g. internal/sim/bench) — deliberately skipped.
+	}
+	return problems
+}
+
+// refPattern matches backtick-quoted repo paths and bare markdown names in
+// running text: `internal/svm/hal.go`, `cmd/tracecheck`, DESIGN.md.
+var refPattern = regexp.MustCompile("`((?:cmd|internal|examples)/[A-Za-z0-9_./-]+)`|\\b([A-Z]+[A-Z_]*\\.md)\\b")
+
+func checkMarkdownRefs(root string) []string {
+	var problems []string
+	for _, name := range []string{"README.md", "DESIGN.md", "EXPERIMENTS.md"} {
+		data, err := os.ReadFile(filepath.Join(root, name))
+		if err != nil {
+			problems = append(problems, fmt.Sprintf("%s: %v", name, err))
+			continue
+		}
+		for lineNo, line := range strings.Split(string(data), "\n") {
+			for _, m := range refPattern.FindAllStringSubmatch(line, -1) {
+				ref := m[1]
+				if ref == "" {
+					ref = m[2]
+				}
+				// Trim trailing punctuation picked up inside backticks.
+				ref = strings.TrimRight(ref, ".,:;")
+				if _, err := os.Stat(filepath.Join(root, ref)); err != nil {
+					problems = append(problems, fmt.Sprintf(
+						"%s:%d: reference %q does not exist in the tree", name, lineNo+1, ref))
+				}
+			}
+		}
+	}
+	return problems
+}
+
+func rel(root, path string) string {
+	if r, err := filepath.Rel(root, path); err == nil {
+		return r
+	}
+	return path
+}

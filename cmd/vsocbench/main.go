@@ -1,27 +1,31 @@
 // Command vsocbench regenerates the paper's evaluation tables and figures
 // (§5): the SVM microbenchmarks of Table 2, the FPS and motion-to-photon
 // comparisons of Figs. 10-15, the ablation breakdowns, the prediction and
-// overhead reports of §5.2, and the write-invalidate CDF of Fig. 16.
+// overhead reports of §5.2, the write-invalidate CDF of Fig. 16, and the
+// notification-batching sweep of DESIGN.md §9.
 //
 // Usage:
 //
-//	vsocbench [-exp all|table1|table2|fig10|fig11|fig12|fig13|fig14|fig15|fig16|prediction|overhead|popablation|services|protocols|thermal|resolution|robustness]
-//	          [-duration 30s] [-apps 10] [-popular 25] [-seed 1] [-workers 0]
-//	          [-trace out.json] [-metrics]
+//	vsocbench [-exp <name>] [-duration 30s] [-apps 10] [-popular 25]
+//	          [-seed 1] [-workers 0] [-trace out.json] [-metrics]
+//
+// Run with -h for the experiment list; names, aliases, ordering, and the
+// per-experiment -trace behavior all come from the shared experiments
+// registry (internal/experiments/registry.go), which cmd/vsoctrace's usage
+// is generated from too.
 //
 // -workers bounds how many app sessions simulate concurrently (0 = one per
 // CPU, 1 = serial). Results are identical at every setting; only wall-clock
 // time changes.
 //
 // -trace writes virtual-time Chrome/Perfetto trace-event JSON (open it at
-// ui.perfetto.dev) for the experiments that support it: the robustness sweep
-// writes one file per (emulator, fault) cell next to the given path, and the
-// overhead run writes exactly the given path. -metrics appends a plain-text
-// dump of the runs' counters, gauges, and histograms to their reports. Both
-// observe only: with them off, output is byte-identical to a build without
-// the observability layer.
+// ui.perfetto.dev) for the experiments that support it. -metrics appends a
+// plain-text dump of the runs' counters, gauges, and histograms to their
+// reports. Both observe only: with them off, output is byte-identical to a
+// build without the observability layer.
 //
-// Figure 13 prints with fig10 and figure 14 with fig11 (same runs).
+// `-exp all` runs every registered experiment except the batching sweep, so
+// its output stays comparable across builds; run `-exp batching` explicitly.
 package main
 
 import (
@@ -34,14 +38,21 @@ import (
 )
 
 func main() {
-	exp := flag.String("exp", "all", "experiment to run (all, table1, table2, fig10-fig16, prediction, overhead, popablation, services, protocols, thermal, resolution, robustness)")
+	exp := flag.String("exp", "all", "experiment to run ("+experiments.ExperimentNames()+")")
 	duration := flag.Duration("duration", 30*time.Second, "simulated duration per app")
 	apps := flag.Int("apps", 10, "apps per emerging category")
 	popular := flag.Int("popular", 25, "popular apps to run")
 	seed := flag.Int64("seed", 1, "simulation seed")
 	workers := flag.Int("workers", 0, "concurrent app sessions (0 = one per CPU, 1 = serial)")
-	tracePath := flag.String("trace", "", "write Chrome/Perfetto trace JSON (robustness: per-cell files; overhead: this path)")
+	tracePath := flag.String("trace", "", "write Chrome/Perfetto trace JSON where the experiment supports it (see -h)")
 	metrics := flag.Bool("metrics", false, "append a metrics dump to supporting experiment reports")
+	flag.Usage = func() {
+		out := flag.CommandLine.Output()
+		fmt.Fprintf(out, "Usage of %s:\n", os.Args[0])
+		flag.PrintDefaults()
+		fmt.Fprintf(out, "\nExperiments ('all' runs each of these except batching):\n%s",
+			experiments.UsageText())
+	}
 	flag.Parse()
 
 	cfg := experiments.Config{
@@ -54,87 +65,82 @@ func main() {
 		Metrics:         *metrics,
 	}
 
-	wallStart := time.Now()
-	run := func(name string, fn func()) {
-		if *exp == "all" || *exp == name {
-			start := time.Now()
-			fn()
-			fmt.Printf("[%s in %.1fs]\n\n", name, time.Since(start).Seconds())
-		}
-	}
-	defer func() {
-		fmt.Printf("[total %.1fs, %d workers]\n", time.Since(wallStart).Seconds(), cfg.EffectiveWorkers())
-	}()
-
-	run("table1", func() {
-		fmt.Print(experiments.FormatTable1(experiments.Table1()))
-	})
-	run("table2", func() {
-		fmt.Print(experiments.FormatTable2(experiments.RunTable2(cfg)))
-	})
-	ranHigh := false
-	run("fig10", func() {
-		fmt.Print(experiments.FormatEmerging(experiments.RunEmergingSweep(cfg, experiments.HighEnd), "10", "13"))
-		ranHigh = true
-	})
-	if !ranHigh {
-		run("fig13", func() {
+	// Runners by canonical experiment name (see the registry for aliases).
+	runners := map[string]func(){
+		"table1": func() {
+			fmt.Print(experiments.FormatTable1(experiments.Table1()))
+		},
+		"table2": func() {
+			fmt.Print(experiments.FormatTable2(experiments.RunTable2(cfg)))
+		},
+		"fig10": func() {
 			fmt.Print(experiments.FormatEmerging(experiments.RunEmergingSweep(cfg, experiments.HighEnd), "10", "13"))
-		})
-	}
-	ranMid := false
-	run("fig11", func() {
-		fmt.Print(experiments.FormatEmerging(experiments.RunEmergingSweep(cfg, experiments.MidEnd), "11", "14"))
-		ranMid = true
-	})
-	if !ranMid {
-		run("fig14", func() {
+		},
+		"fig11": func() {
 			fmt.Print(experiments.FormatEmerging(experiments.RunEmergingSweep(cfg, experiments.MidEnd), "11", "14"))
-		})
+		},
+		"fig12": func() {
+			fmt.Print(experiments.FormatAblation(experiments.RunAblation(cfg)))
+		},
+		"fig15": func() {
+			fmt.Print(experiments.FormatPopular(experiments.RunPopular(cfg)))
+		},
+		"popablation": func() {
+			fmt.Print(experiments.FormatPopularAblation(experiments.RunPopularAblation(cfg)))
+		},
+		"prediction": func() {
+			fmt.Print(experiments.FormatPrediction(experiments.RunPrediction(cfg)))
+		},
+		"overhead": func() {
+			fmt.Print(experiments.FormatOverhead(experiments.RunOverhead(cfg)))
+		},
+		"fig16": func() {
+			fmt.Print(experiments.FormatFig16(experiments.RunFig16(cfg)))
+		},
+		"services": func() {
+			fmt.Print(experiments.FormatServices(experiments.RunServices(cfg)))
+		},
+		"protocols": func() {
+			fmt.Print(experiments.FormatProtocols(experiments.RunProtocols(cfg)))
+		},
+		"thermal": func() {
+			fmt.Print(experiments.FormatThermal(experiments.RunThermal(cfg)))
+		},
+		"resolution": func() {
+			fmt.Print(experiments.FormatResolution(experiments.RunResolutionSweep(cfg)))
+		},
+		"robustness": func() {
+			r := experiments.RunRobustness(cfg)
+			fmt.Print(experiments.FormatRobustness(r))
+			fmt.Print(experiments.FormatRobustnessObs(r))
+		},
+		"batching": func() {
+			fmt.Print(experiments.FormatBatching(experiments.RunBatching(cfg)))
+		},
 	}
-	run("fig12", func() {
-		fmt.Print(experiments.FormatAblation(experiments.RunAblation(cfg)))
-	})
-	run("fig15", func() {
-		fmt.Print(experiments.FormatPopular(experiments.RunPopular(cfg)))
-	})
-	run("popablation", func() {
-		fmt.Print(experiments.FormatPopularAblation(experiments.RunPopularAblation(cfg)))
-	})
-	run("prediction", func() {
-		fmt.Print(experiments.FormatPrediction(experiments.RunPrediction(cfg)))
-	})
-	run("overhead", func() {
-		fmt.Print(experiments.FormatOverhead(experiments.RunOverhead(cfg)))
-	})
-	run("fig16", func() {
-		fmt.Print(experiments.FormatFig16(experiments.RunFig16(cfg)))
-	})
-	run("services", func() {
-		fmt.Print(experiments.FormatServices(experiments.RunServices(cfg)))
-	})
-	run("protocols", func() {
-		fmt.Print(experiments.FormatProtocols(experiments.RunProtocols(cfg)))
-	})
-	run("thermal", func() {
-		fmt.Print(experiments.FormatThermal(experiments.RunThermal(cfg)))
-	})
-	run("resolution", func() {
-		fmt.Print(experiments.FormatResolution(experiments.RunResolutionSweep(cfg)))
-	})
-	run("robustness", func() {
-		r := experiments.RunRobustness(cfg)
-		fmt.Print(experiments.FormatRobustness(r))
-		fmt.Print(experiments.FormatRobustnessObs(r))
-	})
 
-	switch *exp {
-	case "all", "table1", "table2", "fig10", "fig11", "fig12", "fig13", "fig14",
-		"fig15", "fig16", "prediction", "overhead", "popablation",
-		"services", "protocols", "thermal", "resolution", "robustness":
-	default:
+	entry, known := experiments.LookupExperiment(*exp)
+	if *exp != "all" && !known {
 		fmt.Fprintf(os.Stderr, "unknown experiment %q\n", *exp)
 		flag.Usage()
 		os.Exit(2)
 	}
+
+	wallStart := time.Now()
+	timed := func(label string, fn func()) {
+		start := time.Now()
+		fn()
+		fmt.Printf("[%s in %.1fs]\n\n", label, time.Since(start).Seconds())
+	}
+	if *exp == "all" {
+		for _, e := range experiments.Registry() {
+			if e.InAll {
+				timed(e.Name, runners[e.Name])
+			}
+		}
+	} else {
+		// Label with the name as typed, so alias runs log as requested.
+		timed(*exp, runners[entry.Name])
+	}
+	fmt.Printf("[total %.1fs, %d workers]\n", time.Since(wallStart).Seconds(), cfg.EffectiveWorkers())
 }

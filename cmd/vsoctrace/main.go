@@ -26,6 +26,15 @@ func main() {
 	duration := flag.Duration("duration", 30*time.Second, "simulated duration per app")
 	apps := flag.Int("apps", 10, "apps per category")
 	seed := flag.Int64("seed", 1, "simulation seed")
+	flag.Usage = func() {
+		out := flag.CommandLine.Output()
+		fmt.Fprintf(out, "Usage of %s:\n", os.Args[0])
+		flag.PrintDefaults()
+		// Same generated experiment list vsocbench prints, so the two
+		// tools' usage text never drifts apart again.
+		fmt.Fprintf(out, "\nThis tool covers the §2.3 measurement study; the §5 evaluation\nexperiments live in vsocbench (-exp %s):\n%s",
+			experiments.ExperimentNames(), experiments.UsageText())
+	}
 	flag.Parse()
 
 	// Validate the figure selection before running the study — the study is

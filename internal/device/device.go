@@ -8,6 +8,10 @@
 // The framework supports the three access-ordering paradigms the paper
 // compares (Fig. 9): virtual command fences (vSoC), atomic guest-blocking
 // operations (the common baseline), and event-driven interrupt completion.
+//
+// Guest drivers, host executors, rings, and IRQ delivery are all processes
+// on the deterministic simulation kernel: exactly one runs at any instant,
+// so equal seeds replay identical command streams and fence timelines.
 package device
 
 import (
@@ -162,6 +166,10 @@ type Device struct {
 	domain *hostsim.Domain
 
 	stats Stats
+	// piggybacked counts fence signals deferred onto a push batch's
+	// completion IRQ (notification batching; kept out of Stats so the
+	// struct's printed form is unchanged with batching off).
+	piggybacked int
 
 	tr         *obs.Tracer
 	tk         obs.Track
@@ -248,6 +256,22 @@ func (d *Device) Remap(pid hypergraph.NodeID, host *hostsim.Device, domain *host
 
 // Stats returns the device's counters.
 func (d *Device) Stats() Stats { return d.stats }
+
+// PiggybackedFences returns how many fence signals rode a coherence push
+// batch's completion IRQ instead of signaling on their own (always zero
+// with notification batching off).
+func (d *Device) PiggybackedFences() int { return d.piggybacked }
+
+// Ring returns the device's command ring (read-only use by experiments and
+// tests: suppression stats, adaptive-window state).
+func (d *Device) Ring() *virtio.Ring { return d.ring }
+
+// IRQ returns the device's interrupt line (read-only use by experiments
+// and tests).
+func (d *Device) IRQ() *virtio.IRQLine { return d.irq }
+
+// batching reports whether the notification-batching layer is on.
+func (d *Device) batching() bool { return d.cfg.Transport.Batch.Enabled }
 
 // QueueDepth returns pending host commands.
 func (d *Device) QueueDepth() int { return d.ring.Pending() }
@@ -349,13 +373,26 @@ func (d *Device) hostLoop(p *sim.Proc) {
 		if d.tr != nil {
 			sp = d.tr.Begin(d.tk, cmd.Kind)
 		}
-		d.execute(p, ho)
+		info := d.execute(p, ho)
 		if d.tr != nil {
 			d.tr.End(d.tk, sp)
 		}
+		if d.batching() {
+			// Feed the ring's adaptive window with the dispatch->completion
+			// round trip the coalescing windows are sized against.
+			d.ring.ObserveRoundTrip(p.Now() - cmd.EnqueuedAt)
+		}
 		cmd.Done.Signal()
 		if ho.sigFence != nil {
-			ho.sigFence.Signal()
+			if len(info.PushBatches) > 0 {
+				// Fence piggybacking: the signal rides the push batch's
+				// completion IRQ. Downstream waiters then start with the
+				// pushed copy already in place. PushBatches is only ever
+				// non-nil with batching on.
+				d.piggybackFence(ho.sigFence, info.PushBatches)
+			} else {
+				ho.sigFence.Signal()
+			}
 		}
 		if ho.notify {
 			d.irq.Raise(ho)
@@ -368,7 +405,7 @@ func (d *Device) hostLoop(p *sim.Proc) {
 	}
 }
 
-func (d *Device) execute(p *sim.Proc, ho *hostOp) {
+func (d *Device) execute(p *sim.Proc, ho *hostOp) svm.EndInfo {
 	op := ho.op
 	if d.host.SwitchUser(d.Name) {
 		// Taking over the physical device from another virtual device.
@@ -381,17 +418,19 @@ func (d *Device) execute(p *sim.Proc, ho *hostOp) {
 			p.Sleep(d.cfg.CtxSwitchSync)
 		}
 	}
+	var info svm.EndInfo
 	switch op.Kind {
 	case OpWrite:
-		d.accessExec(p, op, svm.UsageWrite)
+		info = d.accessExec(p, op, svm.UsageWrite)
 	case OpRead:
-		d.accessExec(p, op, svm.UsageRead)
+		info = d.accessExec(p, op, svm.UsageRead)
 	case OpExec:
 		d.host.Exec(p, op.Exec)
 	}
 	if op.OnComplete != nil {
 		op.OnComplete(p.Now())
 	}
+	return info
 }
 
 // accessExec runs an SVM-touching op. An access that races a guest Free —
@@ -400,7 +439,7 @@ func (d *Device) execute(p *sim.Proc, ho *hostOp) {
 // execution slot (the command stream already carried the work), the commit
 // is skipped, and the drop is counted. Any other SVM error is a protocol
 // bug and panics.
-func (d *Device) accessExec(p *sim.Proc, op Op, usage svm.Usage) {
+func (d *Device) accessExec(p *sim.Proc, op Op, usage svm.Usage) svm.EndInfo {
 	a, err := d.mgr.BeginAccess(p, op.Region, d.Accessor(), usage, op.Bytes)
 	if err != nil {
 		if errors.Is(err, svm.ErrFreed) || errors.Is(err, svm.ErrUnknownRegion) {
@@ -410,34 +449,66 @@ func (d *Device) accessExec(p *sim.Proc, op Op, usage svm.Usage) {
 				d.tr.Instant(d.tk, "dropped-op")
 			}
 			d.host.Exec(p, op.Exec)
-			return
+			return svm.EndInfo{}
 		}
 		panic(fmt.Sprintf("device %s: %s begin: %v", d.Name, opName(op.Kind), err))
 	}
 	d.host.Exec(p, op.Exec)
-	if _, err := a.End(p); err != nil {
+	info, err := a.End(p)
+	if err != nil {
 		if errors.Is(err, svm.ErrFreed) {
 			d.stats.DroppedOps++
 			d.dropCtr.Inc()
 			if d.tr != nil {
 				d.tr.Instant(d.tk, "dropped-op")
 			}
-			return
+			return svm.EndInfo{}
 		}
 		panic(fmt.Sprintf("device %s: %s end: %v", d.Name, opName(op.Kind), err))
+	}
+	return info
+}
+
+// piggybackFence defers f's signal onto the completion of the write's push
+// batches: the last batch to finish signals the fence from its completion
+// context, so the fence needs no notification of its own.
+func (d *Device) piggybackFence(f *fence.Fence, batches []*svm.PushBatch) {
+	d.piggybacked++
+	if d.tr != nil {
+		d.tr.Instant(d.tk, "fence-piggyback")
+	}
+	remaining := len(batches)
+	for _, b := range batches {
+		b.OnComplete(func() {
+			remaining--
+			if remaining == 0 {
+				f.Signal()
+			}
+		})
 	}
 }
 
 // irqLoop delivers completion interrupts to the guest (event-driven mode),
-// charging the IRQ handling cost before marking tickets ready.
+// charging the IRQ handling cost before marking tickets ready. With
+// batching on, one handled interrupt drains every coalesced completion.
 func (d *Device) irqLoop(p *sim.Proc) {
+	batched := d.batching()
 	for {
-		v := d.irq.Wait(p)
-		d.stats.IRQs++
-		ho := v.(*hostOp)
-		if ho.readyEvent != nil {
-			ho.readyEvent.Signal()
+		if !batched {
+			d.deliverIRQ(d.irq.Wait(p))
+			continue
 		}
+		for _, v := range d.irq.WaitBatch(p) {
+			d.deliverIRQ(v)
+		}
+	}
+}
+
+func (d *Device) deliverIRQ(v any) {
+	d.stats.IRQs++
+	ho := v.(*hostOp)
+	if ho.readyEvent != nil {
+		ho.readyEvent.Signal()
 	}
 }
 

@@ -10,6 +10,10 @@
 // ordering, codec placement (hardware vs software), ISP placement, device
 // support, and per-operation efficiency — the differences the paper
 // attributes the performance gaps to.
+//
+// An instance is fully determined by (preset, machine constructor, seed):
+// every run replays byte-identically, which is what lets the experiment
+// harness compare presets cell by cell.
 package emulator
 
 import (
@@ -72,6 +76,13 @@ type Preset struct {
 	// timeouts; the evaluation presets leave it zero (wait forever).
 	DeviceWatchdog time.Duration
 
+	// Batch enables the adaptive notification-batching layer (doorbell
+	// suppression, IRQ coalescing, coherence push batching; DESIGN.md §9)
+	// on every transport and on the SVM manager. All evaluation presets
+	// leave it zero so their outputs match the pre-batching emulator byte
+	// for byte; the batching sweep turns it on explicitly.
+	Batch virtio.BatchConfig
+
 	// CameraFPSCap bounds the virtual camera's delivery rate; host webcam
 	// passthrough stacks commonly negotiate UHD at 30 FPS, while vSoC's
 	// paravirtual camera streams the sensor's full 60 FPS (§5.1's UHD60
@@ -116,6 +127,7 @@ const VSyncPeriod = time.Second / 60
 
 // New assembles an emulator from a preset on the given machine.
 func New(env *sim.Env, mach *hostsim.Machine, p Preset) *Emulator {
+	p.SVM.Batch = p.Batch
 	mgr := svm.NewManager(env, mach, p.SVM)
 	for id, name := range virtualNames {
 		mgr.RegisterVirtualDevice(id, name)
@@ -138,6 +150,7 @@ func New(env *sim.Env, mach *hostsim.Machine, p Preset) *Emulator {
 	dcfg.UseFlowControl = p.UseFlowControl
 	dcfg.WatchdogTimeout = p.DeviceWatchdog
 	dcfg.Transport.Scale = scale
+	dcfg.Transport.Batch = p.Batch
 
 	e := &Emulator{
 		Preset:    p,

@@ -255,7 +255,13 @@ type Fig16Result struct {
 // the prefetch engine replaced by write-invalidate, on the video apps whose
 // render threads the coherence blocks.
 func RunFig16(cfg Config) *Fig16Result {
-	preset := emulator.VSoCNoPrefetch()
+	return runFig16Preset(cfg, emulator.VSoCNoPrefetch())
+}
+
+// runFig16Preset is RunFig16's body with the preset injectable, so the
+// batching sweep can rerun the demand-fetch-heavy workload with batching on
+// as its latency guardrail.
+func runFig16Preset(cfg Config, preset emulator.Preset) *Fig16Result {
 	type job struct{ cat, app int }
 	var jobs []job
 	for _, cat := range []int{emulator.CatUHDVideo, emulator.Cat360Video} {

@@ -1,0 +1,115 @@
+package experiments
+
+import "strings"
+
+// Entry describes one experiment exposed by the command-line tools. The
+// registry is the single source of truth for experiment names, ordering,
+// aliases, and usage text: cmd/vsocbench and cmd/vsoctrace generate their
+// usage strings from it instead of hand-maintaining parallel lists (which
+// had drifted apart in both order and content).
+type Entry struct {
+	// Name is the canonical -exp value.
+	Name string
+	// Aliases are alternate -exp values running the same experiment
+	// (fig13 prints with fig10, fig14 with fig11: same runs).
+	Aliases []string
+	// Summary is the one-line description shown in usage text.
+	Summary string
+	// Trace describes how -trace interacts with this experiment; empty
+	// means the flag is ignored by it.
+	Trace string
+	// InAll marks experiments included in `-exp all`. The batching sweep
+	// is excluded so `-exp all` output stays byte-comparable with builds
+	// that predate it.
+	InAll bool
+}
+
+// Registry returns the experiments in canonical execution order — the order
+// `-exp all` runs them and usage text lists them.
+func Registry() []Entry {
+	return []Entry{
+		{Name: "table1", InAll: true,
+			Summary: "emerging-app taxonomy and compatibility (Table 1)"},
+		{Name: "table2", InAll: true,
+			Summary: "SVM microbenchmarks: access latency, coherence cost, throughput (Table 2)"},
+		{Name: "fig10", Aliases: []string{"fig13"}, InAll: true,
+			Summary: "emerging-app FPS and motion-to-photon, high-end desktop (Figs. 10+13)"},
+		{Name: "fig11", Aliases: []string{"fig14"}, InAll: true,
+			Summary: "emerging-app FPS and motion-to-photon, middle-end laptop (Figs. 11+14)"},
+		{Name: "fig12", InAll: true,
+			Summary: "vSoC ablations on the emerging apps (Fig. 12)"},
+		{Name: "fig15", InAll: true,
+			Summary: "popular-app FPS comparison (Fig. 15)"},
+		{Name: "popablation", InAll: true,
+			Summary: "vSoC ablations on the popular apps (§5.5)"},
+		{Name: "prediction", InAll: true,
+			Summary: "prefetch prediction accuracy and timing error (§5.2)"},
+		{Name: "overhead", InAll: true,
+			Summary: "SVM framework memory/CPU overhead and fence-table peak (§5.2)",
+			Trace:   "writes exactly the given path"},
+		{Name: "fig16", InAll: true,
+			Summary: "write-invalidate access-latency CDF (Fig. 16, §5.4)"},
+		{Name: "services", InAll: true,
+			Summary: "shared-memory usage by Android service (§2.3 attribution study)"},
+		{Name: "protocols", InAll: true,
+			Summary: "coherence-protocol head-to-head on a churning pipeline (§7)"},
+		{Name: "thermal", InAll: true,
+			Summary: "laptop thermal-throttling trajectory (§5.3)"},
+		{Name: "resolution", InAll: true,
+			Summary: "FPS across video resolutions (§5.3 functional check)"},
+		{Name: "robustness", InAll: true,
+			Summary: "fault-injection degradation and recovery curves",
+			Trace:   "writes one file per (emulator, fault) cell next to the given path"},
+		{Name: "batching",
+			Summary: "notification-batching sweep: notifications/op and Table-2 deltas across batch windows (DESIGN.md §9); excluded from -exp all"},
+	}
+}
+
+// LookupExperiment resolves a -exp value (canonical name or alias) to its
+// registry entry.
+func LookupExperiment(name string) (Entry, bool) {
+	for _, e := range Registry() {
+		if e.Name == name {
+			return e, true
+		}
+		for _, a := range e.Aliases {
+			if a == name {
+				return e, true
+			}
+		}
+	}
+	return Entry{}, false
+}
+
+// ExperimentNames returns "all" plus every canonical name and alias in
+// registry order, for one-line usage summaries.
+func ExperimentNames() string {
+	parts := []string{"all"}
+	for _, e := range Registry() {
+		parts = append(parts, e.Name)
+		parts = append(parts, e.Aliases...)
+	}
+	return strings.Join(parts, "|")
+}
+
+// UsageText returns the generated experiment list for long-form usage:
+// one line per experiment with its summary and any -trace interaction.
+func UsageText() string {
+	var b strings.Builder
+	for _, e := range Registry() {
+		name := e.Name
+		if len(e.Aliases) > 0 {
+			name += " (" + strings.Join(e.Aliases, ", ") + ")"
+		}
+		b.WriteString("  ")
+		b.WriteString(name)
+		b.WriteString("\n        ")
+		b.WriteString(e.Summary)
+		if e.Trace != "" {
+			b.WriteString("\n        -trace: ")
+			b.WriteString(e.Trace)
+		}
+		b.WriteString("\n")
+	}
+	return b.String()
+}

@@ -16,6 +16,10 @@
 // indices runs low (§4). Device-specific synchronization primitives (the
 // glFenceSync-style handles of real GPUs) are tracked per physical device in
 // physical fence tables.
+//
+// Fence retirement is driven purely by simulated completion events, so
+// signal/wait interleavings are deterministic: equal seeds retire the same
+// fences at the same virtual instants.
 package fence
 
 import (

@@ -5,6 +5,10 @@
 // — so without pacing, commands pile up in host command queues. The MIMD
 // window bounds in-flight commands: it grows multiplicatively while the host
 // keeps up and shrinks multiplicatively when host queues back up.
+//
+// The window adapts only to virtual-time signals — queue depths sampled at
+// simulated instants — never wall-clock load, so pacing decisions are
+// deterministic and equal seeds pace identically.
 package flowcontrol
 
 import "repro/internal/sim"

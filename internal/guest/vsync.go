@@ -5,6 +5,10 @@
 // intervals (§2.3) the prefetch engine hides coherence under — the paper
 // notes they are hardware-independent, which is why slack distributions look
 // alike on emulators and physical devices.
+//
+// Both mechanisms are deterministic simulation processes: VSync ticks and
+// buffer hand-offs are scheduled in virtual time, so equal seeds produce
+// identical frame timelines.
 package guest
 
 import (

@@ -10,6 +10,11 @@
 // byte moved between domains costs simulated time on a shared link, so the
 // two-copy vs four-copy difference between vSoC and modular emulators (§3.2)
 // falls out of routing rather than being assumed.
+//
+// All contention and transfer timing resolves through the deterministic
+// event kernel — link service order is a function of (virtual time,
+// sequence), never host scheduling — so equal seeds move every byte at the
+// same simulated instant.
 package hostsim
 
 import "fmt"

@@ -9,6 +9,10 @@
 // edges do not suffice. Data flows and SVM regions are one-to-many: a
 // buffered pipeline's chain of regions all map to the same hyperedge, which
 // is what gives new regions zero-shot predictions (§3.3).
+//
+// The structures are plain deterministic containers — iteration follows
+// insertion order, nothing hashes on addresses — so prediction, and
+// everything downstream of it, is reproducible across runs.
 package hypergraph
 
 import (

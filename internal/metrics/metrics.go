@@ -2,6 +2,11 @@
 // repository: sample distributions with percentiles/CDFs, frame-rate
 // counters, and rolling time series. These back every table and figure the
 // benchmark harness regenerates.
+//
+// The primitives serve the §2.3 measurement study and the §5 evaluation
+// alike. Aggregation is order-deterministic: equal sample streams yield
+// identical statistics, so equal-seed simulations format byte-identical
+// tables.
 package metrics
 
 import (

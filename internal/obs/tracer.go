@@ -13,6 +13,10 @@
 // are valid receivers for theirs. The cost of disabled observability is one
 // pointer check per call site — no allocation, no interface boxing — so
 // instrumented code behaves identically with observability off.
+//
+// The layer exists to watch the reproduction's own machinery — §3.3
+// prefetch spans, §3.4 fence waits, transport counters — without
+// perturbing it.
 package obs
 
 import "time"

@@ -9,6 +9,10 @@
 // Buffer headers carry SVM region IDs rather than data, exactly as §3.2's
 // unified representation intends: the component shuffles handles; the SVM
 // framework moves bytes.
+//
+// The component state machine advances only on simulated dispatches and
+// callbacks, so port activity is deterministic: equal seeds produce the
+// same buffer-header sequences.
 package omx
 
 import (

@@ -13,6 +13,10 @@
 // three consecutive prediction failures, or whenever the available bandwidth
 // drops below 50% of the maximum observed, prefetching is temporarily
 // suspended to avoid wasting bandwidth.
+//
+// The engine is deterministic: predictions depend only on virtual-time
+// history fed in by the SVM manager, so equal seeds prefetch the same
+// regions to the same domains at the same instants.
 package prefetch
 
 import (

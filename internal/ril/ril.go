@@ -9,6 +9,10 @@
 // prefetch engine to hide. The package models solicited commands with
 // realistic radio latencies, unsolicited indications (signal strength,
 // registration changes), and the modem state machine that orders them.
+//
+// Radio latencies and unsolicited indication timing come from the
+// simulation's seeded randomness, so modem behaviour is deterministic:
+// equal seeds produce identical command timelines.
 package ril
 
 import (

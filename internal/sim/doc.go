@@ -13,4 +13,8 @@
 // the rest of the repository.
 //
 // Time is modeled as time.Duration elapsed since the start of the simulation.
+//
+// The kernel itself reproduces nothing from the paper — it is the substrate
+// that makes the reproduction's claims checkable: the §2.3 measurement study
+// and the §5 evaluation both replay on it bit for bit.
 package sim

@@ -26,8 +26,14 @@ type Access struct {
 // should block before returning control to the system, so the remaining
 // asynchronous prefetch stays hidden (adaptive synchronism, §3.3). The
 // device layer applies it in driver context.
+//
+// PushBatches are the coherence push batches this write commit fed (only
+// with notification batching on, nil otherwise). The device layer
+// piggybacks the op's signal fence onto their completion so the batch's
+// completion IRQ carries the fence signal for free (DESIGN.md §9).
 type EndInfo struct {
 	Compensation time.Duration
+	PushBatches  []*PushBatch
 }
 
 // BeginAccess opens an access to region id by acc. bytes is the accessed
@@ -194,7 +200,13 @@ func (a *Access) End(p *sim.Proc) (EndInfo, error) {
 		r.lastWriter = a.acc
 		r.genReaders = r.genReaders[:0]
 		r.predChecked = false
+		if m.coal != nil {
+			m.coal.beginWrite()
+		}
 		info.Compensation = m.proto.onWriteEnd(p, r, a.acc, a.bytes)
+		if m.coal != nil {
+			info.PushBatches = m.coal.takeWriteBatches()
+		}
 		r.lastWriteEnd = p.Now()
 	}
 	m.stats.BytesAccessed += a.bytes

@@ -25,8 +25,15 @@ type protocol interface {
 // stats and bandwidth observations. sync selects the slow CPU-driven copy
 // path (demand fetches cannot use DMA, §5.4).
 func (m *Manager) copyCoherence(p *sim.Proc, from, to *hostsim.Domain, bytes hostsim.Bytes, direct, sync bool) time.Duration {
+	return m.copyCoherenceOpts(p, from, to, bytes, direct, sync, false)
+}
+
+// copyCoherenceOpts is copyCoherence with the batching knob: skipFixed
+// elides the fixed scheduling cost for pushes riding a batch whose header
+// was already charged (notification batching, DESIGN.md §9).
+func (m *Manager) copyCoherenceOpts(p *sim.Proc, from, to *hostsim.Domain, bytes hostsim.Bytes, direct, sync, skipFixed bool) time.Duration {
 	start := p.Now()
-	if m.cfg.CoherenceFixedCost > 0 {
+	if m.cfg.CoherenceFixedCost > 0 && !skipFixed {
 		p.Sleep(m.cfg.CoherenceFixedCost)
 	}
 	_, service := m.mach.CopyDetailed(p, from, to, bytes, sync)
@@ -54,6 +61,12 @@ func (m *Manager) copyCoherence(p *sim.Proc, from, to *hostsim.Domain, bytes hos
 func (m *Manager) demandFetch(p *sim.Proc, r *Region, acc Accessor, bytes hostsim.Bytes, direct bool) {
 	m.stats.DemandFetches++
 	m.om.demandFetches.Inc()
+	if m.coal != nil {
+		// A demand fetch means a latency-sensitive reader found nothing in
+		// place: collapse the coalescing window toward its domain so the
+		// Fig. 16 tail does not absorb batching delay.
+		m.coal.pressure(acc.Domain)
+	}
 	if m.tr != nil {
 		m.tr.Instant(m.trackFor(acc.Name), "demand-fetch")
 	}
@@ -68,13 +81,22 @@ func (m *Manager) demandFetch(p *sim.Proc, r *Region, acc Accessor, bytes hostsi
 // asyncPush starts an asynchronous copy of the current version toward dom,
 // shared by the prefetch and broadcast protocols. Completion installs the
 // copy only if the version is still current; otherwise the bytes are waste.
+// With batching enabled the push joins dom's open batch instead of
+// dispatching on its own.
 func (m *Manager) asyncPush(r *Region, from, dom *hostsim.Domain, bytes hostsim.Bytes, recordTiming bool) {
 	if r.inflight[dom] != nil {
 		return // a push toward dom is already running
 	}
+	if m.coal != nil {
+		b := m.coal.enqueue(r, from, dom, bytes, recordTiming)
+		m.coal.noteWriteBatch(b)
+		return
+	}
 	version := r.version
 	inf := &inflightFetch{done: sim.NewEvent(m.env), version: version, started: m.env.Now()}
 	r.inflight[dom] = inf
+	m.stats.CoherencePushes++
+	m.stats.CoherenceBatches++ // unbatched: every push is its own transaction
 	m.env.Spawn("svm-push", func(hp *sim.Proc) {
 		var asp obs.AsyncSpan
 		if m.tr != nil {
@@ -84,30 +106,39 @@ func (m *Manager) asyncPush(r *Region, from, dom *hostsim.Domain, bytes hostsim.
 		if m.tr != nil {
 			m.tr.EndAsync(m.prefTk, asp)
 		}
-		if !r.freed && r.version == version {
-			r.copies[dom] = version
-			r.delivered[dom] = true
-			if recordTiming {
-				if mp, ok := m.twin.Lookup(uint64(r.ID)); ok && mp.Physical != nil {
-					mp.Physical.Observe(prefetch.StatPrefetchMS,
-						float64(elapsed)/float64(time.Millisecond))
-				}
-				if r.predTimed {
-					errMS := float64(elapsed-r.predPf) / float64(time.Millisecond)
-					if errMS < 0 {
-						errMS = -errMS
-					}
-					m.stats.PrefetchTimeError.Add(errMS)
-				}
-			}
-		} else {
-			m.stats.BytesWasted += bytes
-		}
-		if r.inflight[dom] == inf {
-			delete(r.inflight, dom)
-		}
-		inf.done.Signal()
+		m.completePush(r, dom, version, bytes, recordTiming, elapsed, inf)
 	})
+}
+
+// completePush installs one finished push: the copy lands only if the
+// version is still current, the inflight entry is retired, and waiters are
+// woken. Shared by the unbatched push proc and the batch proc.
+func (m *Manager) completePush(r *Region, dom *hostsim.Domain, version uint64,
+	bytes hostsim.Bytes, recordTiming bool, elapsed time.Duration, inf *inflightFetch) {
+
+	if !r.freed && r.version == version {
+		r.copies[dom] = version
+		r.delivered[dom] = true
+		if recordTiming {
+			if mp, ok := m.twin.Lookup(uint64(r.ID)); ok && mp.Physical != nil {
+				mp.Physical.Observe(prefetch.StatPrefetchMS,
+					float64(elapsed)/float64(time.Millisecond))
+			}
+			if r.predTimed {
+				errMS := float64(elapsed-r.predPf) / float64(time.Millisecond)
+				if errMS < 0 {
+					errMS = -errMS
+				}
+				m.stats.PrefetchTimeError.Add(errMS)
+			}
+		}
+	} else {
+		m.stats.BytesWasted += bytes
+	}
+	if r.inflight[dom] == inf {
+		delete(r.inflight, dom)
+	}
+	inf.done.Signal()
 }
 
 // awaitOrDemand is the read path shared by protocols with asynchronous
@@ -125,6 +156,12 @@ func (m *Manager) awaitOrDemand(p *sim.Proc, r *Region, acc Accessor, bytes host
 		return
 	}
 	if inf := r.inflight[acc.Domain]; inf != nil && inf.version == r.version {
+		if m.coal != nil {
+			// The reader is blocked on a push that may still be parked in
+			// an open batch: dispatch the batch now and record the latency
+			// pressure so the next window starts at zero.
+			m.coal.expedite(acc.Domain)
+		}
 		m.stats.PrefetchWaits++
 		m.om.prefetchWaits.Inc()
 		inf.done.Wait(p)

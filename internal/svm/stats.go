@@ -46,6 +46,13 @@ type Stats struct {
 	SlackError        metrics.Distribution
 	PrefetchTimeError metrics.Distribution
 
+	// Notification batching (DESIGN.md §9). With batching off every push is
+	// its own transaction, so CoherenceBatches == CoherencePushes and
+	// PushesCoalesced == 0.
+	CoherencePushes  int // asynchronous coherence pushes started
+	CoherenceBatches int // transport transactions those pushes rode
+	PushesCoalesced  int // pushes that joined an already-open batch
+
 	// Coherence path outcomes.
 	PrefetchHits    int // data was already in place at begin_access
 	PrefetchWaits   int // begin_access waited for an in-flight prefetch

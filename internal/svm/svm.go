@@ -9,6 +9,10 @@
 // last wrote it, and BeginAccess brings the accessor's domain up to date —
 // by demand fetch, by waiting out an in-flight prefetch, or for free when the
 // prefetch engine already delivered the bytes during the slack interval.
+//
+// Coherence advances only in virtual time and is deterministic: protocol
+// decisions are functions of simulated access history, so equal seeds
+// produce identical copy schedules, hit/miss sequences, and statistics.
 package svm
 
 import (
@@ -21,6 +25,7 @@ import (
 	"repro/internal/obs"
 	"repro/internal/prefetch"
 	"repro/internal/sim"
+	"repro/internal/virtio"
 )
 
 // RegionID is the unique 64-bit identifier assigned to each SVM region at
@@ -117,6 +122,10 @@ type Config struct {
 	CoherenceFixedCost time.Duration
 	// Prefetch configures the prefetch engine (KindPrefetch only).
 	Prefetch prefetch.Config
+	// Batch configures coherence push coalescing (notification batching,
+	// DESIGN.md §9). The zero value disables it: every push dispatches on
+	// its own transaction, byte-identical to the pre-batching manager.
+	Batch virtio.BatchConfig
 }
 
 // DefaultConfig returns a vSoC-style configuration.
@@ -146,6 +155,9 @@ type Manager struct {
 	twin   *hypergraph.Twin
 	engine *prefetch.Engine
 	proto  protocol
+	// coal batches coherence pushes per destination domain; nil when
+	// notification batching is off.
+	coal *pushCoalescer
 
 	regions map[RegionID]*Region
 	nextID  RegionID
@@ -213,6 +225,9 @@ func NewManager(env *sim.Env, mach *hostsim.Machine, cfg Config) *Manager {
 		m.proto = &guestSyncProtocol{m: m}
 	default:
 		panic(fmt.Sprintf("svm: unknown protocol kind %d", cfg.Kind))
+	}
+	if cfg.Batch.Enabled {
+		m.coal = newPushCoalescer(m, cfg.Batch)
 	}
 	return m
 }

@@ -36,11 +36,16 @@ type rig struct {
 }
 
 func newRig(t *testing.T, kind Kind) *rig {
-	t.Helper()
-	env := sim.NewEnv(7)
-	mach := hostsim.HighEndDesktop(env)
 	cfg := DefaultConfig()
 	cfg.Kind = kind
+	return newRigCfg(t, cfg)
+}
+
+func newRigCfg(t *testing.T, cfg Config) *rig {
+	t.Helper()
+	kind := cfg.Kind
+	env := sim.NewEnv(7)
+	mach := hostsim.HighEndDesktop(env)
 	m := NewManager(env, mach, cfg)
 
 	m.RegisterVirtualDevice(vCPU, "vcpu")

@@ -3,6 +3,10 @@
 // its caller identity, size, usage, and duration, and answers the questions
 // the study asks of the data — which services dominate SVM usage, how many
 // processes share each region, and how cyclic the R/W patterns are.
+//
+// Recording is deterministic: events append in simulation order with no
+// wall-clock input, so equal seeds produce identical traces and identical
+// study answers.
 package trace
 
 import (

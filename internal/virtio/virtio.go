@@ -7,6 +7,12 @@
 // The transport costs here are what make guest-host control-flow
 // synchronization expensive, which is the problem the virtual command fence
 // mechanism (§3.4) exists to avoid.
+//
+// All transport costs are charged in virtual time on the deterministic
+// kernel. The notification-batching layer (batch.go) is gated on
+// BatchConfig.Enabled: off, the transport is byte-identical to the
+// pre-batching implementation; on, equal seeds still replay identical
+// notification schedules.
 package virtio
 
 import (
@@ -56,6 +62,10 @@ type Config struct {
 	// It is shared (by pointer) across the rings and IRQ lines of one
 	// emulator so a single injected spike slows them all.
 	Scale *CostScale
+	// Batch configures the adaptive notification-batching layer (doorbell
+	// suppression, IRQ coalescing, coherence push batching). The zero value
+	// disables it and the transport behaves exactly as without the layer.
+	Batch BatchConfig
 }
 
 // Scaled applies the config's dynamic cost scale to a duration.
@@ -78,6 +88,10 @@ type Stats struct {
 	Commands int
 	Kicks    int
 	IRQs     int
+	// ElidedKicks counts dispatches whose VM-exit was suppressed because
+	// the host executor was still processing (event-index semantics).
+	// Always zero with batching off.
+	ElidedKicks int
 }
 
 // Command is one unit of work dispatched from a guest driver to a host
@@ -103,22 +117,42 @@ type Ring struct {
 	seq   uint64
 	stats Stats
 
-	tr      *obs.Tracer
-	tk      obs.Track
-	cmdCtr  *obs.Counter
-	kickCtr *obs.Counter
+	// peerIdle is the event-index state: true while the host executor has
+	// published that it is idle-waiting on the ring (the next dispatch must
+	// kick), false while it is still processing (a kick may be elided under
+	// batching). Starts true: until the executor's first Recv, the guest
+	// must assume it is asleep.
+	peerIdle bool
+	// win is the ring's adaptive coalescing window, fed by observed
+	// dispatch->completion round trips. Nil when batching is off.
+	win *AdaptiveWindow
+
+	tr       *obs.Tracer
+	tk       obs.Track
+	cmdCtr   *obs.Counter
+	kickCtr  *obs.Counter
+	elideCtr *obs.Counter
 }
 
 // NewRing returns a ring with unbounded descriptor capacity (flow control
 // is layered above, see internal/flowcontrol).
 func NewRing(env *sim.Env, name string, cfg Config) *Ring {
-	r := &Ring{Name: name, env: env, cfg: cfg, q: sim.NewQueue[*Command](env, 0)}
+	r := &Ring{Name: name, env: env, cfg: cfg, q: sim.NewQueue[*Command](env, 0), peerIdle: true}
 	if r.tr = env.Tracer(); r.tr != nil {
 		r.tk = r.tr.Track("vq:" + name)
 	}
 	if reg := env.Metrics(); reg != nil {
 		r.cmdCtr = reg.Counter("vq." + name + ".commands")
 		r.kickCtr = reg.Counter("vq." + name + ".kicks")
+	}
+	if cfg.Batch.Enabled {
+		r.win = NewAdaptiveWindow(cfg.Batch)
+		// Registered only when batching is on: the metrics dump prints
+		// every registered counter, and batching off must stay
+		// byte-identical to the pre-batching transport.
+		if reg := env.Metrics(); reg != nil {
+			r.elideCtr = reg.Counter("vq." + name + ".elided_kicks")
+		}
 	}
 	return r
 }
@@ -136,16 +170,25 @@ func (r *Ring) Dispatch(p *sim.Proc, c *Command) {
 }
 
 // DispatchBatch publishes several commands with a single kick — the
-// batching that command queues exist for (§3.4).
+// batching that command queues exist for (§3.4). Under an enabled batch
+// config the kick itself is elided while the host executor is still
+// processing: like virtio's event-index suppression, the executor re-checks
+// the ring after publishing its idle state, so a command published to a busy
+// ring is always picked up without a doorbell.
 func (r *Ring) DispatchBatch(p *sim.Proc, cmds []*Command) {
 	if len(cmds) == 0 {
 		return
 	}
+	kick := !r.cfg.Batch.Enabled || r.peerIdle
 	var sp obs.Span
 	if r.tr != nil {
 		sp = r.tr.Begin(r.tk, "dispatch")
 	}
-	p.Sleep(r.cfg.Scaled(time.Duration(len(cmds))*r.cfg.PerCommandCost + r.cfg.KickCost))
+	cost := time.Duration(len(cmds)) * r.cfg.PerCommandCost
+	if kick {
+		cost += r.cfg.KickCost
+	}
+	p.Sleep(r.cfg.Scaled(cost))
 	for _, c := range cmds {
 		c.EnqueuedAt = p.Now()
 		r.stats.Commands++
@@ -156,19 +199,37 @@ func (r *Ring) DispatchBatch(p *sim.Proc, cmds []*Command) {
 		}
 		r.q.Put(p, c)
 	}
-	r.stats.Kicks++
+	if kick {
+		r.stats.Kicks++
+	} else {
+		r.stats.ElidedKicks++
+	}
 	if r.tr != nil {
 		r.tr.End(r.tk, sp)
-		r.tr.Instant(r.tk, "kick")
+		if kick {
+			r.tr.Instant(r.tk, "kick")
+		} else {
+			r.tr.Instant(r.tk, "kick-elided")
+		}
 		r.tr.Count(r.tk, "pending", float64(r.q.Len()))
 	}
 	r.cmdCtr.Add(int64(len(cmds)))
-	r.kickCtr.Inc()
+	if kick {
+		r.kickCtr.Inc()
+	} else {
+		r.elideCtr.Inc()
+	}
 }
 
-// Recv blocks the host device process until a command arrives.
+// Recv blocks the host device process until a command arrives. An executor
+// finding the ring empty publishes its idle state first (the event-index
+// write), so the dispatch that wakes it pays the kick.
 func (r *Ring) Recv(p *sim.Proc) *Command {
+	if r.q.Len() == 0 {
+		r.peerIdle = true
+	}
 	c := r.q.Get(p)
+	r.peerIdle = false
 	if r.tr != nil {
 		r.tr.AsyncEnd(r.tk, "queued", c.Seq)
 		r.tr.Count(r.tk, "pending", float64(r.q.Len()))
@@ -176,14 +237,50 @@ func (r *Ring) Recv(p *sim.Proc) *Command {
 	return c
 }
 
-// TryRecv pops a command without blocking.
+// TryRecv pops a command without blocking. A miss publishes the idle state,
+// mirroring Recv's going-to-sleep check.
 func (r *Ring) TryRecv() (*Command, bool) {
 	c, ok := r.q.TryGet()
+	if ok {
+		r.peerIdle = false
+	} else {
+		r.peerIdle = true
+	}
 	if ok && r.tr != nil {
 		r.tr.AsyncEnd(r.tk, "queued", c.Seq)
 		r.tr.Count(r.tk, "pending", float64(r.q.Len()))
 	}
 	return c, ok
+}
+
+// PeerIdle reports the published event-index state: whether the next
+// dispatch must pay a kick. Exposed for tests.
+func (r *Ring) PeerIdle() bool { return r.peerIdle }
+
+// ObserveRoundTrip feeds one dispatch->completion round trip into the
+// ring's adaptive window. No-op when batching is off.
+func (r *Ring) ObserveRoundTrip(d time.Duration) {
+	if r.win != nil {
+		r.win.ObserveRTT(d)
+	}
+}
+
+// Window returns the ring's current adaptive coalescing window (zero when
+// batching is off, cold, or under pressure).
+func (r *Ring) Window() time.Duration {
+	if r.win == nil {
+		return 0
+	}
+	return r.win.Window(r.env.Now())
+}
+
+// RTT returns the ring's smoothed notify->completion round trip (zero when
+// batching is off or no round trip has been observed).
+func (r *Ring) RTT() time.Duration {
+	if r.win == nil {
+		return 0
+	}
+	return r.win.RTT()
 }
 
 // Pending returns the queued command count.
@@ -201,10 +298,17 @@ type IRQLine struct {
 	cfg   Config
 	q     *sim.Queue[any]
 	count int
+	// delivered counts IRQCost charges on the guest (one per Wait, one per
+	// WaitBatch drain); coalesced counts payloads that rode an interrupt
+	// already pending (event-index suppression on the used ring). Both
+	// equal the naive accounting when batching is off.
+	delivered int
+	coalesced int
 
 	tr       *obs.Tracer
 	tk       obs.Track
 	raiseCtr *obs.Counter
+	coalCtr  *obs.Counter
 }
 
 // NewIRQLine returns an interrupt line.
@@ -214,13 +318,28 @@ func NewIRQLine(env *sim.Env, name string, cfg Config) *IRQLine {
 		l.tk = l.tr.Track("irq:" + name)
 	}
 	l.raiseCtr = env.Metrics().Counter("irq." + name + ".raised")
+	if cfg.Batch.Enabled {
+		// Only registered when batching is on (metrics-dump byte-identity).
+		l.coalCtr = env.Metrics().Counter("irq." + name + ".coalesced")
+	}
 	return l
 }
 
 // Raise injects an interrupt carrying v. Host side; costless for the
-// raiser beyond scheduling.
+// raiser beyond scheduling. Under batching, a payload raised while the
+// guest has not drained the previous one rides the pending interrupt
+// instead of injecting another.
 func (l *IRQLine) Raise(v any) {
 	l.count++
+	if l.cfg.Batch.Enabled && l.q.Len() > 0 {
+		l.coalesced++
+		if l.tr != nil {
+			l.tr.Instant(l.tk, "raise-coalesced")
+		}
+		l.coalCtr.Inc()
+		l.q.TryPut(v)
+		return
+	}
 	if l.tr != nil {
 		l.tr.Instant(l.tk, "raise")
 	}
@@ -232,6 +351,7 @@ func (l *IRQLine) Raise(v any) {
 // guest-side handling cost.
 func (l *IRQLine) Wait(p *sim.Proc) any {
 	v := l.q.Get(p)
+	l.delivered++
 	var sp obs.Span
 	if l.tr != nil {
 		sp = l.tr.Begin(l.tk, "irq-handle")
@@ -243,8 +363,39 @@ func (l *IRQLine) Wait(p *sim.Proc) any {
 	return v
 }
 
-// Raised returns the number of interrupts injected.
+// WaitBatch blocks until an interrupt arrives, pays the guest-side handling
+// cost once, and drains every payload that interrupt carries — the guest
+// half of IRQ coalescing. With batching off it degenerates to Wait.
+func (l *IRQLine) WaitBatch(p *sim.Proc) []any {
+	out := []any{l.q.Get(p)}
+	for {
+		v, ok := l.q.TryGet()
+		if !ok {
+			break
+		}
+		out = append(out, v)
+	}
+	l.delivered++
+	var sp obs.Span
+	if l.tr != nil {
+		sp = l.tr.Begin(l.tk, "irq-handle")
+	}
+	p.Sleep(l.cfg.Scaled(l.cfg.IRQCost))
+	if l.tr != nil {
+		l.tr.End(l.tk, sp)
+	}
+	return out
+}
+
+// Raised returns the number of completion payloads raised (including ones
+// that coalesced onto a pending interrupt).
 func (l *IRQLine) Raised() int { return l.count }
+
+// Delivered returns the number of interrupts the guest paid IRQCost for.
+func (l *IRQLine) Delivered() int { return l.delivered }
+
+// Coalesced returns the number of payloads that rode a pending interrupt.
+func (l *IRQLine) Coalesced() int { return l.coalesced }
 
 // SharedPage models a guest page shared with the host via MMIO (§4): both
 // sides read and write it without transport cost. Capacity is fixed at one

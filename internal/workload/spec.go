@@ -4,6 +4,10 @@
 // guest processes driving data pipelines across the emulator's virtual
 // devices, with frame pacing, buffering, presentation deadlines, and
 // motion-to-photon tagging — the machinery FPS and latency emerge from.
+//
+// App behaviour is deterministic: pacing, buffer churn, and scene
+// variation all derive from the session seed in virtual time, so equal
+// seeds render identical frame-by-frame results.
 package workload
 
 import (
