@@ -4,7 +4,7 @@
 
 GO ?= go
 
-.PHONY: check build vet test docs-check race bench-smoke chaos-smoke trace-smoke verify
+.PHONY: check build vet test docs-check race bench-smoke chaos-smoke trace-smoke bench perf-smoke verify
 
 check: vet build test docs-check
 
@@ -47,4 +47,15 @@ trace-smoke:
 	$(GO) run ./cmd/vsocbench -exp robustness -duration 12s -trace /tmp/vsoc-trace.json -metrics > /dev/null
 	$(GO) run ./cmd/tracecheck /tmp/vsoc-trace-*.json
 
-verify: check race bench-smoke chaos-smoke trace-smoke
+# Benchmark trajectory: the profiled micro run (Fig. 16 + critical-path
+# attribution, DESIGN.md §10) written as a machine-readable bench report
+# plus its folded-stack flamegraph. CI uploads both as artifacts.
+bench:
+	$(GO) run ./cmd/vsocbench -exp micro -duration 8s -apps 2 -json BENCH_PR5.json -profile BENCH_PR5.folded > /dev/null
+
+# Perf gate: vsocperf must parse the fresh bench report and find zero
+# regressions diffing it against itself (exit 1 on any).
+perf-smoke: bench
+	$(GO) run ./cmd/vsocperf BENCH_PR5.json BENCH_PR5.json
+
+verify: check race bench-smoke chaos-smoke trace-smoke perf-smoke

@@ -8,6 +8,7 @@
 //
 //	vsocbench [-exp <name>] [-duration 30s] [-apps 10] [-popular 25]
 //	          [-seed 1] [-workers 0] [-trace out.json] [-metrics]
+//	          [-profile out.folded] [-json bench.json]
 //
 // Run with -h for the experiment list; names, aliases, ordering, and the
 // per-experiment -trace behavior all come from the shared experiments
@@ -24,8 +25,15 @@
 // reports. Both observe only: with them off, output is byte-identical to a
 // build without the observability layer.
 //
-// `-exp all` runs every registered experiment except the batching sweep, so
-// its output stays comparable across builds; run `-exp batching` explicitly.
+// `-exp all` runs every registered experiment except the batching sweep and
+// the profiled micro run, so its output stays comparable across builds; run
+// `-exp batching` / `-exp micro` explicitly.
+//
+// -profile writes the critical-path profiler's folded-stack flamegraph
+// export for the experiments that support it (micro); feed it to any
+// flamegraph renderer. -json writes the machine-readable bench report —
+// a stable, sorted JSON trajectory of named metrics — for cmd/vsocperf
+// to diff against a baseline run.
 package main
 
 import (
@@ -46,6 +54,8 @@ func main() {
 	workers := flag.Int("workers", 0, "concurrent app sessions (0 = one per CPU, 1 = serial)")
 	tracePath := flag.String("trace", "", "write Chrome/Perfetto trace JSON where the experiment supports it (see -h)")
 	metrics := flag.Bool("metrics", false, "append a metrics dump to supporting experiment reports")
+	profilePath := flag.String("profile", "", "write the folded-stack flamegraph export where the experiment supports it (see -h)")
+	jsonPath := flag.String("json", "", "write the machine-readable bench report (for cmd/vsocperf) to this path")
 	flag.Usage = func() {
 		out := flag.CommandLine.Output()
 		fmt.Fprintf(out, "Usage of %s:\n", os.Args[0])
@@ -63,59 +73,90 @@ func main() {
 		Workers:         *workers,
 		TracePath:       *tracePath,
 		Metrics:         *metrics,
+		ProfilePath:     *profilePath,
 	}
 
 	// Runners by canonical experiment name (see the registry for aliases).
-	runners := map[string]func(){
-		"table1": func() {
+	// A runner prints its report and returns any metrics it contributes to
+	// the -json bench report (nil for experiments outside the trajectory).
+	runners := map[string]func() []experiments.BenchMetric{
+		"table1": func() []experiments.BenchMetric {
 			fmt.Print(experiments.FormatTable1(experiments.Table1()))
+			return nil
 		},
-		"table2": func() {
+		"table2": func() []experiments.BenchMetric {
 			fmt.Print(experiments.FormatTable2(experiments.RunTable2(cfg)))
+			return nil
 		},
-		"fig10": func() {
+		"fig10": func() []experiments.BenchMetric {
 			fmt.Print(experiments.FormatEmerging(experiments.RunEmergingSweep(cfg, experiments.HighEnd), "10", "13"))
+			return nil
 		},
-		"fig11": func() {
+		"fig11": func() []experiments.BenchMetric {
 			fmt.Print(experiments.FormatEmerging(experiments.RunEmergingSweep(cfg, experiments.MidEnd), "11", "14"))
+			return nil
 		},
-		"fig12": func() {
+		"fig12": func() []experiments.BenchMetric {
 			fmt.Print(experiments.FormatAblation(experiments.RunAblation(cfg)))
+			return nil
 		},
-		"fig15": func() {
+		"fig15": func() []experiments.BenchMetric {
 			fmt.Print(experiments.FormatPopular(experiments.RunPopular(cfg)))
+			return nil
 		},
-		"popablation": func() {
+		"popablation": func() []experiments.BenchMetric {
 			fmt.Print(experiments.FormatPopularAblation(experiments.RunPopularAblation(cfg)))
+			return nil
 		},
-		"prediction": func() {
+		"prediction": func() []experiments.BenchMetric {
 			fmt.Print(experiments.FormatPrediction(experiments.RunPrediction(cfg)))
+			return nil
 		},
-		"overhead": func() {
+		"overhead": func() []experiments.BenchMetric {
 			fmt.Print(experiments.FormatOverhead(experiments.RunOverhead(cfg)))
+			return nil
 		},
-		"fig16": func() {
+		"fig16": func() []experiments.BenchMetric {
 			fmt.Print(experiments.FormatFig16(experiments.RunFig16(cfg)))
+			return nil
 		},
-		"services": func() {
+		"micro": func() []experiments.BenchMetric {
+			r := experiments.RunMicro(cfg)
+			fmt.Print(experiments.FormatMicro(r))
+			if cfg.ProfilePath != "" {
+				if err := writeFolded(cfg.ProfilePath, r); err != nil {
+					fmt.Fprintf(os.Stderr, "vsocbench: %v\n", err)
+					os.Exit(1)
+				}
+				fmt.Printf("[folded-stack profile written to %s]\n", cfg.ProfilePath)
+			}
+			return experiments.MicroBenchMetrics(r)
+		},
+		"services": func() []experiments.BenchMetric {
 			fmt.Print(experiments.FormatServices(experiments.RunServices(cfg)))
+			return nil
 		},
-		"protocols": func() {
+		"protocols": func() []experiments.BenchMetric {
 			fmt.Print(experiments.FormatProtocols(experiments.RunProtocols(cfg)))
+			return nil
 		},
-		"thermal": func() {
+		"thermal": func() []experiments.BenchMetric {
 			fmt.Print(experiments.FormatThermal(experiments.RunThermal(cfg)))
+			return nil
 		},
-		"resolution": func() {
+		"resolution": func() []experiments.BenchMetric {
 			fmt.Print(experiments.FormatResolution(experiments.RunResolutionSweep(cfg)))
+			return nil
 		},
-		"robustness": func() {
+		"robustness": func() []experiments.BenchMetric {
 			r := experiments.RunRobustness(cfg)
 			fmt.Print(experiments.FormatRobustness(r))
 			fmt.Print(experiments.FormatRobustnessObs(r))
+			return nil
 		},
-		"batching": func() {
+		"batching": func() []experiments.BenchMetric {
 			fmt.Print(experiments.FormatBatching(experiments.RunBatching(cfg)))
+			return nil
 		},
 	}
 
@@ -127,20 +168,43 @@ func main() {
 	}
 
 	wallStart := time.Now()
-	timed := func(label string, fn func()) {
+	bench := map[string][]experiments.BenchMetric{}
+	timed := func(name, label string, fn func() []experiments.BenchMetric) {
 		start := time.Now()
-		fn()
+		if ms := fn(); len(ms) > 0 {
+			bench[name] = ms
+		}
 		fmt.Printf("[%s in %.1fs]\n\n", label, time.Since(start).Seconds())
 	}
 	if *exp == "all" {
 		for _, e := range experiments.Registry() {
 			if e.InAll {
-				timed(e.Name, runners[e.Name])
+				timed(e.Name, e.Name, runners[e.Name])
 			}
 		}
 	} else {
 		// Label with the name as typed, so alias runs log as requested.
-		timed(*exp, runners[entry.Name])
+		timed(entry.Name, *exp, runners[entry.Name])
+	}
+	if *jsonPath != "" {
+		if err := experiments.NewBenchReport(bench).WriteJSONFile(*jsonPath); err != nil {
+			fmt.Fprintf(os.Stderr, "vsocbench: %v\n", err)
+			os.Exit(1)
+		}
+		fmt.Printf("[bench report written to %s]\n", *jsonPath)
 	}
 	fmt.Printf("[total %.1fs, %d workers]\n", time.Since(wallStart).Seconds(), cfg.EffectiveWorkers())
+}
+
+// writeFolded writes the micro run's folded-stack flamegraph export.
+func writeFolded(path string, r *experiments.MicroResult) error {
+	f, err := os.Create(path)
+	if err != nil {
+		return err
+	}
+	if err := r.Report.WriteFolded(f); err != nil {
+		f.Close()
+		return err
+	}
+	return f.Close()
 }

@@ -24,6 +24,7 @@ import (
 	"repro/internal/hostsim"
 	"repro/internal/hypergraph"
 	"repro/internal/obs"
+	"repro/internal/prof"
 	"repro/internal/sim"
 	"repro/internal/svm"
 	"repro/internal/virtio"
@@ -132,6 +133,19 @@ type Ticket struct {
 // Done reports host-side completion (cheap MMIO-style status query).
 func (t *Ticket) Done() bool { return t.Cmd.Done.Fired() }
 
+// ProfNode returns the op's critical-path profiler node (nil when
+// profiling is off), so consumers waiting on this ticket can record the
+// op as a wait-for dependency.
+func (t *Ticket) ProfNode() *prof.Node {
+	if t == nil || t.Cmd == nil {
+		return nil
+	}
+	if ho, ok := t.Cmd.Payload.(*hostOp); ok {
+		return ho.node
+	}
+	return nil
+}
+
 // Stats counts per-device activity.
 type Stats struct {
 	Submitted  int
@@ -177,6 +191,12 @@ type Device struct {
 	execCtr    *obs.Counter
 	dropCtr    *obs.Counter
 	timeoutCtr *obs.Counter
+
+	// Critical-path profiler plus labels precomputed at construction so
+	// the enabled path builds no strings per op.
+	pf      *prof.Profiler
+	lblNode [3]string // node name per OpKind
+	lblCtx  string
 }
 
 // hostOp is the payload carried in ring commands.
@@ -186,6 +206,7 @@ type hostOp struct {
 	sigFence   *fence.Fence
 	notify     bool       // raise an IRQ at completion (event-driven mode)
 	readyEvent *sim.Event // guest-visible completion (event-driven mode)
+	node       *prof.Node // wait-for graph vertex (profiling only)
 }
 
 // New creates a virtual device mapped to the given physical device/domain
@@ -221,6 +242,12 @@ func New(env *sim.Env, mgr *svm.Manager, name string, vid, pid hypergraph.NodeID
 	}
 	if cfg.UseFlowControl && cfg.Mode == ModeFence {
 		d.mimd = flowcontrol.New(env, cfg.FlowControl)
+	}
+	if d.pf = env.Profiler(); d.pf != nil {
+		for _, k := range []OpKind{OpWrite, OpRead, OpExec} {
+			d.lblNode[k] = name + ":" + opName(k)
+		}
+		d.lblCtx = "dev:" + name + ":ctx-switch"
 	}
 	env.Spawn(name+"-host", d.hostLoop)
 	if cfg.Mode == ModeEventDriven {
@@ -294,6 +321,11 @@ func (d *Device) Submit(p *sim.Proc, op Op) *Ticket {
 
 	ho := &hostOp{op: op}
 	cmd.Payload = ho
+	if d.pf != nil {
+		// The node opens at submission; its base component "ring:queued"
+		// absorbs the dispatch-to-pickup residency.
+		ho.node = d.pf.NewNode(d.lblNode[op.Kind], "ring:queued")
+	}
 
 	extra := op.Commands - 1
 	if extra < 0 {
@@ -306,25 +338,48 @@ func (d *Device) Submit(p *sim.Proc, op Op) *Ticket {
 		}
 		ho.sigFence = d.ftab.Alloc()
 		t.Fence = ho.sigFence
+		if d.pf != nil {
+			ho.sigFence.SetProvenance(ho.node)
+		}
 		if d.mimd != nil {
+			paceStart := p.Now()
 			d.mimd.Acquire(p)
+			if d.pf != nil {
+				d.pf.Charge(p, "pacing", paceStart)
+			}
 		}
 		// Batched commands share one kick; only marshaling scales.
+		marshalStart := p.Now()
 		p.Sleep(d.cfg.Transport.Scaled(time.Duration(extra) * d.cfg.Transport.PerCommandCost))
+		if d.pf != nil {
+			d.pf.Charge(p, "virtio:marshal", marshalStart)
+		}
 		d.ring.Dispatch(p, cmd)
 		if op.Kind == OpWrite {
 			if comp := d.mgr.PredictCompensation(op.Region, d.Accessor(), op.Bytes); comp > 0 {
+				compStart := p.Now()
 				p.Sleep(comp)
+				if d.pf != nil {
+					d.pf.Charge(p, "svm:compensation", compStart)
+				}
 			}
 		}
 	case ModeAtomic:
 		// Guest-side ordering: op.After already completed because its
 		// submission blocked. Each constituent command costs a full
 		// guest-host round trip before the final dispatch-and-wait.
+		marshalStart := p.Now()
 		p.Sleep(d.cfg.Transport.Scaled(time.Duration(extra) *
 			(d.cfg.Transport.PerCommandCost + d.cfg.Transport.KickCost + d.cfg.Transport.IRQCost)))
+		if d.pf != nil {
+			d.pf.Charge(p, "virtio:marshal", marshalStart)
+		}
 		d.ring.Dispatch(p, cmd)
+		waitStart := p.Now()
 		cmd.Done.Wait(p)
+		if d.pf != nil {
+			d.pf.Wait(p, "atomic:wait", waitStart, ho.node)
+		}
 		d.stats.AtomicOps++
 	case ModeEventDriven:
 		ho.notify = true
@@ -334,9 +389,17 @@ func (d *Device) Submit(p *sim.Proc, op Op) *Ticket {
 		if op.After != nil && !op.After.Ready.Fired() {
 			// The guest serializes dependent ops on the completion IRQ
 			// of the predecessor.
+			orderStart := p.Now()
 			op.After.Ready.Wait(p)
+			if d.pf != nil {
+				d.pf.Wait(p, "irq:order-wait", orderStart, op.After.ProfNode())
+			}
 		}
+		marshalStart := p.Now()
 		p.Sleep(d.cfg.Transport.Scaled(time.Duration(extra) * (d.cfg.Transport.PerCommandCost + d.cfg.Transport.KickCost)))
+		if d.pf != nil {
+			d.pf.Charge(p, "virtio:marshal", marshalStart)
+		}
 		d.ring.Dispatch(p, cmd)
 	}
 	return t
@@ -346,12 +409,16 @@ func (d *Device) hostLoop(p *sim.Proc) {
 	for {
 		cmd := d.ring.Recv(p)
 		ho := cmd.Payload.(*hostOp)
+		if d.pf != nil {
+			d.pf.Bind(p, ho.node)
+		}
 		if ho.waitFence != nil {
 			d.stats.FenceWaits++
 			var wsp obs.Span
 			if d.tr != nil {
 				wsp = d.tr.Begin(d.tk, "fence-wait")
 			}
+			fwStart := p.Now()
 			if wd := d.cfg.WatchdogTimeout; wd > 0 {
 				if !ho.waitFence.WaitTimeout(p, wd) {
 					d.stats.FenceTimeouts++
@@ -362,6 +429,9 @@ func (d *Device) hostLoop(p *sim.Proc) {
 				}
 			} else {
 				ho.waitFence.Wait(p)
+			}
+			if d.pf != nil {
+				d.pf.Wait(p, "fence:wait", fwStart, ho.waitFence.Provenance())
 			}
 			if d.tr != nil {
 				d.tr.End(d.tk, wsp)
@@ -376,6 +446,10 @@ func (d *Device) hostLoop(p *sim.Proc) {
 		info := d.execute(p, ho)
 		if d.tr != nil {
 			d.tr.End(d.tk, sp)
+		}
+		if d.pf != nil {
+			d.pf.Finish(ho.node) // no-op when execute already finished it
+			d.pf.Bind(p, nil)
 		}
 		if d.batching() {
 			// Feed the ring's adaptive window with the dispatch->completion
@@ -412,10 +486,14 @@ func (d *Device) execute(p *sim.Proc, ho *hostOp) svm.EndInfo {
 		if d.tr != nil {
 			d.tr.Instant(d.tk, "ctx-switch")
 		}
+		ctxStart := p.Now()
 		if d.cfg.Mode == ModeFence {
 			p.Sleep(d.cfg.CtxSwitchDeferred)
 		} else {
 			p.Sleep(d.cfg.CtxSwitchSync)
+		}
+		if d.pf != nil {
+			d.pf.Charge(p, d.lblCtx, ctxStart)
 		}
 	}
 	var info svm.EndInfo
@@ -428,7 +506,17 @@ func (d *Device) execute(p *sim.Proc, ho *hostOp) svm.EndInfo {
 		d.host.Exec(p, op.Exec)
 	}
 	if op.OnComplete != nil {
+		if d.pf != nil {
+			// Finish the node before the callback so a FrameDone fired
+			// inside it sees a completed dependency, and publish it as
+			// the completing op for the final frame wait segment.
+			d.pf.Finish(ho.node)
+			d.pf.SetCompleting(ho.node)
+		}
 		op.OnComplete(p.Now())
+		if d.pf != nil {
+			d.pf.SetCompleting(nil)
+		}
 	}
 	return info
 }

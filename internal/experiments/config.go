@@ -46,6 +46,11 @@ type Config struct {
 	// Metrics enables the metrics registry; supporting experiments append a
 	// plain-text dump of counters, gauges, and histograms to their report.
 	Metrics bool
+	// ProfilePath, for experiments that support the critical-path profiler
+	// (micro), is where the folded-stack flamegraph export is written.
+	// Empty disables the export; the profiler itself runs whenever the
+	// experiment asks for it and never perturbs simulation results.
+	ProfilePath string
 }
 
 // Quick returns a configuration suitable for tests and benchmarks.

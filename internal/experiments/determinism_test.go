@@ -92,3 +92,72 @@ func TestSerialEnvOverride(t *testing.T) {
 		t.Fatalf("EffectiveWorkers default with %s=1 = %d, want 1", SerialEnv, got)
 	}
 }
+
+// TestProfilerDeterminism is the profiler's observer contract, both ways:
+// equal seeds produce byte-identical folded-stack exports (at any worker
+// count), and attaching the profiler leaves the simulation's results
+// byte-identical to a profiler-off run.
+func TestProfilerDeterminism(t *testing.T) {
+	workers := runtime.NumCPU()
+	if workers < 4 {
+		workers = 4
+	}
+	for _, seed := range []int64{1, 7} {
+		seed := seed
+		t.Run(fmt.Sprintf("seed=%d", seed), func(t *testing.T) {
+			serial := RunMicro(detCfg(seed, 1))
+			parallel := RunMicro(detCfg(seed, workers))
+			if a, b := serial.Report.FoldedString(), parallel.Report.FoldedString(); a != b {
+				t.Errorf("folded export diverges between 1 and %d workers:\n%s\nvs\n%s", workers, a, b)
+			}
+			if a, b := FormatMicro(serial), FormatMicro(parallel); a != b {
+				t.Errorf("micro report diverges between 1 and %d workers:\n%s\nvs\n%s", workers, a, b)
+			}
+			rerun := RunMicro(detCfg(seed, 1))
+			if a, b := serial.Report.FoldedString(), rerun.Report.FoldedString(); a != b {
+				t.Errorf("folded export diverges across equal-seed runs:\n%s\nvs\n%s", a, b)
+			}
+
+			// Profiler on vs off: the Fig. 16 stats must match exactly.
+			off := RunFig16(detCfg(seed, 1))
+			if off.MeanMS != serial.Fig16.MeanMS || off.P99MS != serial.Fig16.P99MS || off.MaxMS != serial.Fig16.MaxMS {
+				t.Errorf("profiler perturbed simulation results: off={%.9f %.9f %.9f} on={%.9f %.9f %.9f}",
+					off.MeanMS, off.P99MS, off.MaxMS,
+					serial.Fig16.MeanMS, serial.Fig16.P99MS, serial.Fig16.MaxMS)
+			}
+			if a, b := FormatFig16(off), FormatFig16(serial.Fig16); a != b {
+				t.Errorf("profiler perturbed the Fig. 16 CDF:\n%s\nvs\n%s", a, b)
+			}
+		})
+	}
+}
+
+// TestMicroAttribution pins the headline claims of the micro experiment:
+// at least 95% of demand-fetch latency is attributed to named components,
+// and the dominant component is the PCIe sync-copy link (the §5.4 story —
+// write-invalidate readers stall on synchronous host-to-device copies).
+func TestMicroAttribution(t *testing.T) {
+	r := RunMicro(detCfg(1, 0))
+	cov, dom := r.Report.ClassCoverage("demand-fetch")
+	if cov < 0.95 {
+		t.Errorf("demand-fetch attribution coverage = %.3f, want >= 0.95", cov)
+	}
+	if dom != "link:pcie-h2d:sync-copy" {
+		t.Errorf("dominant demand-fetch component = %q, want link:pcie-h2d:sync-copy", dom)
+	}
+	if r.Report.Frames == 0 {
+		t.Fatal("micro run recorded no frames")
+	}
+	if len(r.Report.Top) == 0 {
+		t.Fatal("micro run recorded no slowest-frame records")
+	}
+	for _, f := range r.Report.Top {
+		if f.Latency() <= 0 {
+			t.Errorf("top frame %s has non-positive latency %v", f.Label, f.Latency())
+		}
+	}
+	ms := MicroBenchMetrics(r)
+	if len(ms) < 5 {
+		t.Fatalf("MicroBenchMetrics returned %d metrics, want >= 5", len(ms))
+	}
+}

@@ -1,0 +1,112 @@
+package experiments
+
+import (
+	"fmt"
+	"strings"
+
+	"repro/internal/emulator"
+	"repro/internal/metrics"
+	"repro/internal/prof"
+	"repro/internal/svm"
+	"repro/internal/workload"
+)
+
+// MicroResult is the Fig. 16 run rerun with the critical-path profiler
+// attached: the same access-latency CDF (the profiler is a pure observer,
+// so the numbers are identical to RunFig16's) plus the walked attribution
+// of where that latency comes from — the §5.4 demand-fetch breakdown.
+type MicroResult struct {
+	Fig16  *Fig16Result
+	Report *prof.Report
+}
+
+// RunMicro reruns the Fig. 16 workload (write-invalidate video on the
+// high-end machine) with a per-session critical-path profiler. Sessions
+// use the same seeds as RunFig16, so its stats are byte-identical to a
+// profiler-off run; per-session reports merge in fixed job order, so the
+// result is independent of worker count.
+func RunMicro(cfg Config) *MicroResult {
+	preset := emulator.VSoCNoPrefetch()
+	type job struct{ cat, app int }
+	var jobs []job
+	for _, cat := range []int{emulator.CatUHDVideo, emulator.Cat360Video} {
+		apps := cfg.AppsPerCategory
+		if apps > preset.EmergingCompat[cat] {
+			apps = preset.EmergingCompat[cat]
+		}
+		for app := 0; app < apps; app++ {
+			jobs = append(jobs, job{cat, app})
+		}
+	}
+	type out struct {
+		st  *svm.Stats
+		rep *prof.Report
+	}
+	outs := parmap(cfg.workers(), len(jobs), func(i int) out {
+		j := jobs[i]
+		pf := prof.New()
+		sess := workload.NewProfiledSession(preset, HighEnd.New,
+			appSeed(cfg.Seed, 500, j.cat, j.app), nil, nil, pf)
+		defer sess.Close()
+		spec := workload.DefaultSpec(j.cat, j.app, cfg.Duration)
+		if _, err := workload.RunEmerging(sess.Emulator, spec); err != nil {
+			return out{}
+		}
+		return out{st: sess.SVMStats(), rep: pf.Report()}
+	})
+	var all metrics.Distribution
+	merged := prof.New().Report()
+	for i, o := range outs {
+		if o.st == nil {
+			continue
+		}
+		all.Merge(&o.st.AccessLatency)
+		o.rep.Retag(fmt.Sprintf("%s/%d", emulator.CategoryNames[jobs[i].cat], jobs[i].app))
+		merged.Merge(o.rep)
+	}
+	return &MicroResult{
+		Fig16: &Fig16Result{
+			CDF:    all.CDF(40),
+			MeanMS: all.Mean(),
+			P99MS:  all.Percentile(99),
+			MaxMS:  all.Max(),
+		},
+		Report: merged,
+	}
+}
+
+// FormatMicro renders the micro run: the Fig. 16 summary line plus the
+// full attribution block (component table, demand-fetch class table, and
+// top-K slowest frames) that accompanies the metrics dump.
+func FormatMicro(r *MicroResult) string {
+	var b strings.Builder
+	b.WriteString("Critical-path micro run (Fig. 16 workload, profiler on):\n")
+	fmt.Fprintf(&b, "  access latency: mean %.2f ms, p99 %.2f ms, max %.2f ms\n",
+		r.Fig16.MeanMS, r.Fig16.P99MS, r.Fig16.MaxMS)
+	cov, dom := r.Report.ClassCoverage("demand-fetch")
+	fmt.Fprintf(&b, "  demand-fetch attribution: %.1f%% of latency named, dominant component %s\n",
+		100*cov, dom)
+	b.WriteString(r.Report.FormatAttribution())
+	return b.String()
+}
+
+// MicroBenchMetrics projects the micro run onto the bench trajectory.
+func MicroBenchMetrics(r *MicroResult) []BenchMetric {
+	cov, _ := r.Report.ClassCoverage("demand-fetch")
+	ms := make([]BenchMetric, 0, 8)
+	ms = append(ms,
+		BenchMetric{Name: "micro.access_latency_mean_ms", Value: r.Fig16.MeanMS, Unit: "ms", Better: "lower"},
+		BenchMetric{Name: "micro.access_latency_p99_ms", Value: r.Fig16.P99MS, Unit: "ms", Better: "lower"},
+		BenchMetric{Name: "micro.demand_fetch_coverage", Value: cov, Unit: "frac", Better: "higher"},
+		BenchMetric{Name: "micro.frames", Value: float64(r.Report.Frames), Unit: "count", Better: "higher"},
+	)
+	if r.Report.Frames > 0 {
+		meanMS := float64(r.Report.Total.Milliseconds()) / float64(r.Report.Frames)
+		ms = append(ms, BenchMetric{Name: "micro.frame_critical_path_mean_ms", Value: meanMS, Unit: "ms", Better: "lower"})
+	}
+	if cs := r.Report.Classes["demand-fetch"]; cs != nil && cs.Count > 0 {
+		meanMS := float64(cs.Total.Microseconds()) / 1000 / float64(cs.Count)
+		ms = append(ms, BenchMetric{Name: "micro.demand_fetch_mean_ms", Value: meanMS, Unit: "ms", Better: "lower"})
+	}
+	return ms
+}

@@ -18,6 +18,12 @@ type Entry struct {
 	// Trace describes how -trace interacts with this experiment; empty
 	// means the flag is ignored by it.
 	Trace string
+	// Profile describes how -profile interacts with this experiment;
+	// empty means the flag is ignored by it.
+	Profile string
+	// Bench marks experiments that contribute metrics to the -json bench
+	// report (the machine-readable trajectory cmd/vsocperf diffs).
+	Bench bool
 	// InAll marks experiments included in `-exp all`. The batching sweep
 	// is excluded so `-exp all` output stays byte-comparable with builds
 	// that predate it.
@@ -49,6 +55,9 @@ func Registry() []Entry {
 			Trace:   "writes exactly the given path"},
 		{Name: "fig16", InAll: true,
 			Summary: "write-invalidate access-latency CDF (Fig. 16, §5.4)"},
+		{Name: "micro", Bench: true,
+			Summary: "Fig. 16 rerun with the critical-path profiler: per-component latency attribution, demand-fetch breakdown, top-K slowest frames (§5.4); excluded from -exp all",
+			Profile: "writes the folded-stack flamegraph export to the given path"},
 		{Name: "services", InAll: true,
 			Summary: "shared-memory usage by Android service (§2.3 attribution study)"},
 		{Name: "protocols", InAll: true,
@@ -108,6 +117,10 @@ func UsageText() string {
 		if e.Trace != "" {
 			b.WriteString("\n        -trace: ")
 			b.WriteString(e.Trace)
+		}
+		if e.Profile != "" {
+			b.WriteString("\n        -profile: ")
+			b.WriteString(e.Profile)
 		}
 		b.WriteString("\n")
 	}

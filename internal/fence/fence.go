@@ -26,6 +26,7 @@ import (
 	"fmt"
 
 	"repro/internal/obs"
+	"repro/internal/prof"
 	"repro/internal/sim"
 	"repro/internal/virtio"
 )
@@ -49,10 +50,25 @@ type Fence struct {
 	idx   int
 	state fenceState
 	ev    *sim.Event
+	prov  *prof.Node
 }
 
 // Index returns the fence's slot index in the virtual fence table.
 func (f *Fence) Index() int { return f.idx }
+
+// SetProvenance records the profiler node of the op that will signal this
+// fence, so waiters can attribute their wait to the signaler's critical
+// path. Fence objects are never recycled (only slots are), so provenance
+// cannot go stale.
+func (f *Fence) SetProvenance(n *prof.Node) { f.prov = n }
+
+// Provenance returns the signaling op's profiler node, if recorded.
+func (f *Fence) Provenance() *prof.Node {
+	if f == nil {
+		return nil
+	}
+	return f.prov
+}
 
 // Signaled reports whether the fence has retired. This is the MMIO status
 // query: free of transport cost.

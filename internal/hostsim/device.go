@@ -3,6 +3,7 @@ package hostsim
 import (
 	"time"
 
+	"repro/internal/prof"
 	"repro/internal/sim"
 )
 
@@ -49,12 +50,18 @@ type Device struct {
 	// interleaving where no virtual device ever runs twice in a row).
 	storm  bool
 	stalls int
+
+	// Critical-path profiler plus labels precomputed at construction.
+	pf          *prof.Profiler
+	lblQueue    string
+	lblExec     string
+	lblThrottle string
 }
 
 // NewDevice returns a device with the given number of parallel execution
 // units whose local data lives in local.
 func NewDevice(env *sim.Env, name string, kind DeviceKind, local *Domain, units int64) *Device {
-	return &Device{
+	d := &Device{
 		Name:  name,
 		Kind:  kind,
 		Local: local,
@@ -62,6 +69,12 @@ func NewDevice(env *sim.Env, name string, kind DeviceKind, local *Domain, units 
 		units: sim.NewSemaphore(env, units),
 		speed: func() float64 { return 1 },
 	}
+	if d.pf = env.Profiler(); d.pf != nil {
+		d.lblQueue = "dev:" + name + ":queue"
+		d.lblExec = "dev:" + name + ":exec"
+		d.lblThrottle = "dev:" + name + ":throttle"
+	}
+	return d
 }
 
 // Stall occupies every execution unit until release fires, modeling a hung
@@ -105,8 +118,20 @@ func (d *Device) Speed() float64 { return d.speed() }
 func (d *Device) Exec(p *sim.Proc, cost time.Duration) time.Duration {
 	start := p.Now()
 	d.units.Acquire(p, 1)
+	acq := p.Now()
 	eff := time.Duration(float64(cost) / d.speed())
 	p.Sleep(eff)
+	if d.pf != nil {
+		// Split the stretched execution into nominal-speed work and the
+		// thermal-throttle stretch, so throttling is its own component.
+		d.pf.ChargeSpan(p, d.lblQueue, start, acq)
+		if eff > cost {
+			d.pf.ChargeSpan(p, d.lblExec, acq, acq+cost)
+			d.pf.ChargeSpan(p, d.lblThrottle, acq+cost, acq+eff)
+		} else {
+			d.pf.ChargeSpan(p, d.lblExec, acq, acq+eff)
+		}
+	}
 	d.units.Release(1)
 	d.busy += eff
 	if d.thermo != nil {

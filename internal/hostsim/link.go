@@ -5,6 +5,7 @@ import (
 	"time"
 
 	"repro/internal/obs"
+	"repro/internal/prof"
 	"repro/internal/sim"
 )
 
@@ -43,6 +44,13 @@ type Link struct {
 	bytesCtr *obs.Counter
 	retryCtr *obs.Counter
 	degGauge *obs.Gauge
+
+	// Critical-path profiler plus labels precomputed at construction so
+	// the enabled path does not build strings per transfer.
+	pf       *prof.Profiler
+	lblQueue string
+	lblDMA   string
+	lblSync  string
 }
 
 // maxDMARetries bounds re-drives of a lossy DMA transfer so an injected
@@ -64,6 +72,11 @@ func NewLink(env *sim.Env, name string, bandwidth float64, latency time.Duration
 		l.bytesCtr = reg.Counter("link." + name + ".bytes")
 		l.retryCtr = reg.Counter("link." + name + ".dma_retries")
 		l.degGauge = reg.Gauge("link." + name + ".degradation")
+	}
+	if l.pf = env.Profiler(); l.pf != nil {
+		l.lblQueue = "link:" + name + ":queue"
+		l.lblDMA = "link:" + name + ":dma"
+		l.lblSync = "link:" + name + ":sync-copy"
 	}
 	return l
 }
@@ -126,6 +139,10 @@ func (l *Link) TransferSync(p *sim.Proc, size Bytes) time.Duration {
 func (l *Link) transfer(p *sim.Proc, size Bytes, sync bool) (time.Duration, time.Duration) {
 	start := p.Now()
 	l.sem.Acquire(p, 1)
+	if l.pf != nil {
+		l.pf.Charge(p, l.lblQueue, start)
+	}
+	svcStart := p.Now()
 	// The span covers service only (the link is held), not the queueing
 	// delay before it, so spans on one link track never overlap — the
 	// semaphore serializes them FIFO.
@@ -158,6 +175,13 @@ func (l *Link) transfer(p *sim.Proc, size Bytes, sync bool) (time.Duration, time
 	}
 	if l.tr != nil {
 		l.tr.End(l.tk, sp)
+	}
+	if l.pf != nil {
+		lbl := l.lblDMA
+		if sync {
+			lbl = l.lblSync
+		}
+		l.pf.Charge(p, lbl, svcStart)
 	}
 	l.sem.Release(1)
 	l.moved += size

@@ -3,6 +3,7 @@ package obs
 import (
 	"fmt"
 	"io"
+	"math"
 	"sort"
 	"strconv"
 	"strings"
@@ -37,13 +38,15 @@ func (r *Registry) Snapshot() []SnapshotEntry {
 	}
 	for name, g := range r.gauges {
 		out = append(out, SnapshotEntry{
-			Name: name, Kind: "gauge", Count: g.n, Value: g.v, Smoothed: g.ewma.Value(),
+			Name: name, Kind: "gauge", Count: g.n,
+			Value: finite(g.v), Smoothed: finite(g.ewma.Value()),
 		})
 	}
 	for name, h := range r.hists {
 		out = append(out, SnapshotEntry{
 			Name: name, Kind: "histogram", Count: int64(h.d.Count()),
-			Mean: h.d.Mean(), P50: h.d.Percentile(50), P99: h.d.Percentile(99), Max: h.d.Max(),
+			Mean: finite(h.d.Mean()), P50: finite(h.d.Percentile(50)),
+			P99: finite(h.d.Percentile(99)), Max: finite(h.d.Max()),
 		})
 	}
 	sort.Slice(out, func(i, j int) bool {
@@ -66,6 +69,15 @@ func (r *Registry) WriteText(w io.Writer) error {
 			_, err = fmt.Fprintf(w, "gauge     %-40s %.3f (ewma %.3f, n=%d)\n",
 				e.Name, e.Value, e.Smoothed, e.Count)
 		case "histogram":
+			if e.Count == 0 {
+				// Explicit empty rendering: a registered-but-unobserved
+				// histogram reports count=0 with zeroed summary fields
+				// instead of whatever the distribution's reducers return
+				// on no samples.
+				_, err = fmt.Fprintf(w, "histogram %-40s n=0 mean=0.000 p50=0.000 p99=0.000 max=0.000\n",
+					e.Name)
+				break
+			}
 			_, err = fmt.Fprintf(w, "histogram %-40s n=%d mean=%.3f p50=%.3f p99=%.3f max=%.3f\n",
 				e.Name, e.Count, e.Mean, e.P50, e.P99, e.Max)
 		}
@@ -186,7 +198,17 @@ func (b *errWriter) micros(ns int64) {
 }
 
 func (b *errWriter) float(v float64) {
-	b.str(strconv.FormatFloat(v, 'g', -1, 64))
+	// NaN/Inf are not valid JSON literals and would corrupt the export.
+	b.str(strconv.FormatFloat(finite(v), 'g', -1, 64))
+}
+
+// finite squashes NaN and ±Inf to zero so text dumps stay parseable and
+// JSON exports stay valid even if a metric was fed a non-finite sample.
+func finite(v float64) float64 {
+	if math.IsNaN(v) || math.IsInf(v, 0) {
+		return 0
+	}
+	return v
 }
 
 func (b *errWriter) quoted(s string) { b.str(strconv.Quote(s)) }

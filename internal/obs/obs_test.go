@@ -2,6 +2,7 @@ package obs
 
 import (
 	"encoding/json"
+	"math"
 	"strings"
 	"testing"
 	"time"
@@ -230,5 +231,47 @@ func TestPerfettoExport(t *testing.T) {
 	}
 	if !json.Valid([]byte(empty.String())) {
 		t.Fatalf("nil-tracer export invalid:\n%s", empty.String())
+	}
+}
+
+// A registered-but-never-observed histogram must render an explicit
+// count=0 line with zeroed summary fields, and gauges/histograms fed
+// non-finite samples must dump finite numbers and valid Perfetto JSON.
+func TestEmptyAndNonFiniteExports(t *testing.T) {
+	reg := NewRegistry()
+	reg.Histogram("svm.empty")
+	poisoned := reg.Histogram("svm.poisoned")
+	poisoned.Observe(math.NaN())
+	poisoned.Observe(math.Inf(1))
+	g := reg.Gauge("svm.gauge")
+	g.Set(math.NaN())
+
+	text := reg.FormatText()
+	want := "histogram svm.empty                                n=0 mean=0.000 p50=0.000 p99=0.000 max=0.000\n"
+	if !strings.Contains(text, want) {
+		t.Fatalf("empty histogram rendering missing from:\n%s", text)
+	}
+	if strings.Contains(text, "NaN") || strings.Contains(text, "Inf") {
+		t.Fatalf("non-finite values leaked into text dump:\n%s", text)
+	}
+	for _, e := range reg.Snapshot() {
+		for _, v := range []float64{e.Value, e.Smoothed, e.Mean, e.P50, e.P99, e.Max} {
+			if math.IsNaN(v) || math.IsInf(v, 0) {
+				t.Fatalf("snapshot entry %s carries non-finite field: %+v", e.Name, e)
+			}
+		}
+	}
+
+	tr := NewTracer()
+	tk := tr.Track("svm")
+	tr.Count(tk, "nan-counter", math.NaN())
+	tr.Count(tk, "inf-counter", math.Inf(-1))
+	var b strings.Builder
+	if err := WritePerfetto(&b, tr); err != nil {
+		t.Fatal(err)
+	}
+	var parsed map[string]any
+	if err := json.Unmarshal([]byte(b.String()), &parsed); err != nil {
+		t.Fatalf("Perfetto export is not valid JSON: %v\n%s", err, b.String())
 	}
 }

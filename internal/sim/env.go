@@ -6,6 +6,7 @@ import (
 	"time"
 
 	"repro/internal/obs"
+	"repro/internal/prof"
 )
 
 // Time is a point on the simulation's virtual clock, expressed as the
@@ -98,8 +99,9 @@ type Env struct {
 	// Observability attachments, both optional (nil = disabled). They live
 	// on the Env so every subsystem constructed against it finds them
 	// without signature changes; the scheduler itself never touches them.
-	tracer  *obs.Tracer
-	metrics *obs.Registry
+	tracer   *obs.Tracer
+	metrics  *obs.Registry
+	profiler *prof.Profiler
 }
 
 // NewEnv returns a fresh environment whose clock reads zero. The seed fixes
@@ -136,6 +138,18 @@ func (e *Env) SetMetrics(r *obs.Registry) { e.metrics = r }
 
 // Metrics returns the attached registry, nil when metrics are disabled.
 func (e *Env) Metrics() *obs.Registry { return e.metrics }
+
+// SetProfiler attaches a critical-path profiler (nil disables profiling)
+// and binds its clock to this environment's virtual time. Like SetTracer,
+// attach before constructing subsystems: they capture the profiler at
+// construction.
+func (e *Env) SetProfiler(pf *prof.Profiler) {
+	e.profiler = pf
+	pf.SetNow(func() time.Duration { return e.now })
+}
+
+// Profiler returns the attached profiler, nil when profiling is disabled.
+func (e *Env) Profiler() *prof.Profiler { return e.profiler }
 
 // schedule inserts an event at absolute time at (clamped to now).
 func (e *Env) schedule(at Time, p *Proc, fn func()) {

@@ -65,6 +65,9 @@ func (m *Manager) BeginAccess(p *sim.Proc, id RegionID, acc Accessor, usage Usag
 	r.noteDomain(acc.Domain)
 	if m.cfg.AccessBaseCost > 0 {
 		p.Sleep(m.cfg.AccessBaseCost)
+		if m.pf != nil {
+			m.pf.Charge(p, "svm:access-base", start)
+		}
 	}
 
 	if usage.reads() && r.version > 0 {

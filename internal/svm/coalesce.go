@@ -5,6 +5,7 @@ import (
 
 	"repro/internal/hostsim"
 	"repro/internal/obs"
+	"repro/internal/prof"
 	"repro/internal/sim"
 	"repro/internal/virtio"
 )
@@ -39,6 +40,9 @@ type PushBatch struct {
 	hasTimer bool
 	started  bool
 	complete bool
+	// node is the batch's wait-for graph vertex; its base component
+	// "svm:coalesce-window" absorbs the open-window parking time.
+	node *prof.Node
 	// callbacks run in the batch proc's context right after the last item
 	// completes (fence piggybacking).
 	callbacks []func()
@@ -123,6 +127,7 @@ func (c *pushCoalescer) enqueue(r *Region, from, dom *hostsim.Domain,
 		inf: inf, recordTiming: recordTiming}
 
 	if b := c.pending[dom]; b != nil {
+		inf.node = b.node
 		b.items = append(b.items, it)
 		b.bytes += bytes
 		m.stats.PushesCoalesced++
@@ -133,6 +138,10 @@ func (c *pushCoalescer) enqueue(r *Region, from, dom *hostsim.Domain,
 		return b
 	}
 	b := &PushBatch{dest: dom, items: []batchItem{it}, bytes: bytes}
+	if m.pf != nil {
+		b.node = m.pf.NewNode("svm:push-batch", "svm:coalesce-window")
+		inf.node = b.node
+	}
 	c.pending[dom] = b
 	win := c.windowFor(dom).Window(m.env.Now())
 	if win <= 0 {
@@ -189,6 +198,9 @@ func (c *pushCoalescer) flush(dom *hostsim.Domain) {
 		if m.tr != nil {
 			asp = m.tr.BeginAsync(m.prefTk, "push-batch:"+dom.Name)
 		}
+		if m.pf != nil {
+			m.pf.Bind(hp, b.node)
+		}
 		for i := range b.items {
 			it := &b.items[i]
 			// The batch header (CoherenceFixedCost) is charged on the first
@@ -198,6 +210,10 @@ func (c *pushCoalescer) flush(dom *hostsim.Domain) {
 		}
 		if m.tr != nil {
 			m.tr.EndAsync(m.prefTk, asp)
+		}
+		if m.pf != nil {
+			m.pf.Finish(b.node)
+			m.pf.Bind(hp, nil)
 		}
 		// The batch round trip is the notify->completion time the next
 		// window is sized from.

@@ -35,6 +35,9 @@ func (m *Manager) copyCoherenceOpts(p *sim.Proc, from, to *hostsim.Domain, bytes
 	start := p.Now()
 	if m.cfg.CoherenceFixedCost > 0 && !skipFixed {
 		p.Sleep(m.cfg.CoherenceFixedCost)
+		if m.pf != nil {
+			m.pf.Charge(p, "svm:coherence-fixed", start)
+		}
 	}
 	_, service := m.mach.CopyDetailed(p, from, to, bytes, sync)
 	elapsed := p.Now() - start
@@ -61,6 +64,13 @@ func (m *Manager) copyCoherenceOpts(p *sim.Proc, from, to *hostsim.Domain, bytes
 func (m *Manager) demandFetch(p *sim.Proc, r *Region, acc Accessor, bytes hostsim.Bytes, direct bool) {
 	m.stats.DemandFetches++
 	m.om.demandFetches.Inc()
+	if m.pf != nil {
+		// Class scope: every component charged inside the fetch (fixed
+		// cost, link queue, sync copy) also lands in the "demand-fetch"
+		// attribution table — the Fig. 16 breakdown.
+		m.pf.BeginClass(p, "demand-fetch")
+		defer m.pf.EndClass(p)
+	}
 	if m.coal != nil {
 		// A demand fetch means a latency-sensitive reader found nothing in
 		// place: collapse the coalescing window toward its domain so the
@@ -94,6 +104,9 @@ func (m *Manager) asyncPush(r *Region, from, dom *hostsim.Domain, bytes hostsim.
 	}
 	version := r.version
 	inf := &inflightFetch{done: sim.NewEvent(m.env), version: version, started: m.env.Now()}
+	if m.pf != nil {
+		inf.node = m.pf.NewNode("svm:push", "svm:push-pending")
+	}
 	r.inflight[dom] = inf
 	m.stats.CoherencePushes++
 	m.stats.CoherenceBatches++ // unbatched: every push is its own transaction
@@ -102,9 +115,16 @@ func (m *Manager) asyncPush(r *Region, from, dom *hostsim.Domain, bytes hostsim.
 		if m.tr != nil {
 			asp = m.tr.BeginAsync(m.prefTk, "push:"+from.Name+"->"+dom.Name)
 		}
+		if m.pf != nil {
+			m.pf.Bind(hp, inf.node)
+		}
 		elapsed := m.copyCoherence(hp, from, dom, bytes, true, false)
 		if m.tr != nil {
 			m.tr.EndAsync(m.prefTk, asp)
+		}
+		if m.pf != nil {
+			m.pf.Finish(inf.node)
+			m.pf.Bind(hp, nil)
 		}
 		m.completePush(r, dom, version, bytes, recordTiming, elapsed, inf)
 	})
@@ -164,7 +184,11 @@ func (m *Manager) awaitOrDemand(p *sim.Proc, r *Region, acc Accessor, bytes host
 		}
 		m.stats.PrefetchWaits++
 		m.om.prefetchWaits.Inc()
+		pwStart := p.Now()
 		inf.done.Wait(p)
+		if m.pf != nil {
+			m.pf.Wait(p, "svm:prefetch-wait", pwStart, inf.node)
+		}
 		if r.HasCurrentCopy(acc.Domain) {
 			r.delivered[acc.Domain] = false
 			return

@@ -5,6 +5,7 @@ import (
 
 	"repro/internal/hostsim"
 	"repro/internal/hypergraph"
+	"repro/internal/prof"
 	"repro/internal/sim"
 )
 
@@ -14,6 +15,9 @@ type inflightFetch struct {
 	done    *sim.Event
 	version uint64
 	started time.Duration
+	// node is the push's wait-for graph vertex (the batch's vertex when
+	// the push rides a coalesced batch); nil when profiling is off.
+	node *prof.Node
 }
 
 // Region is one SVM region: a handle-addressed buffer whose latest contents

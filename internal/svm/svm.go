@@ -24,6 +24,7 @@ import (
 	"repro/internal/hypergraph"
 	"repro/internal/obs"
 	"repro/internal/prefetch"
+	"repro/internal/prof"
 	"repro/internal/sim"
 	"repro/internal/virtio"
 )
@@ -170,6 +171,7 @@ type Manager struct {
 	// Observability (all nil-safe when tracing/metrics are off). Accessor
 	// tracks are interned lazily: most runs touch a handful of accessors.
 	tr     *obs.Tracer
+	pf     *prof.Profiler
 	prefTk obs.Track
 	accTk  map[string]obs.Track
 	om     struct {
@@ -203,6 +205,7 @@ func NewManager(env *sim.Env, mach *hostsim.Machine, cfg Config) *Manager {
 		m.prefTk = m.tr.Track("prefetch")
 		m.accTk = make(map[string]obs.Track)
 	}
+	m.pf = env.Profiler()
 	reg := env.Metrics()
 	m.om.accesses = reg.Counter("svm.accesses")
 	m.om.reads = reg.Counter("svm.reads")

@@ -19,6 +19,7 @@ import (
 	"time"
 
 	"repro/internal/obs"
+	"repro/internal/prof"
 	"repro/internal/sim"
 )
 
@@ -132,6 +133,7 @@ type Ring struct {
 	cmdCtr   *obs.Counter
 	kickCtr  *obs.Counter
 	elideCtr *obs.Counter
+	pf       *prof.Profiler
 }
 
 // NewRing returns a ring with unbounded descriptor capacity (flow control
@@ -145,6 +147,7 @@ func NewRing(env *sim.Env, name string, cfg Config) *Ring {
 		r.cmdCtr = reg.Counter("vq." + name + ".commands")
 		r.kickCtr = reg.Counter("vq." + name + ".kicks")
 	}
+	r.pf = env.Profiler()
 	if cfg.Batch.Enabled {
 		r.win = NewAdaptiveWindow(cfg.Batch)
 		// Registered only when batching is on: the metrics dump prints
@@ -188,7 +191,15 @@ func (r *Ring) DispatchBatch(p *sim.Proc, cmds []*Command) {
 	if kick {
 		cost += r.cfg.KickCost
 	}
+	dispatchStart := p.Now()
 	p.Sleep(r.cfg.Scaled(cost))
+	if r.pf != nil {
+		lbl := "virtio:marshal"
+		if kick {
+			lbl = "virtio:kick"
+		}
+		r.pf.Charge(p, lbl, dispatchStart)
+	}
 	for _, c := range cmds {
 		c.EnqueuedAt = p.Now()
 		r.stats.Commands++
@@ -309,11 +320,12 @@ type IRQLine struct {
 	tk       obs.Track
 	raiseCtr *obs.Counter
 	coalCtr  *obs.Counter
+	pf       *prof.Profiler
 }
 
 // NewIRQLine returns an interrupt line.
 func NewIRQLine(env *sim.Env, name string, cfg Config) *IRQLine {
-	l := &IRQLine{Name: name, env: env, cfg: cfg, q: sim.NewQueue[any](env, 0)}
+	l := &IRQLine{Name: name, env: env, cfg: cfg, q: sim.NewQueue[any](env, 0), pf: env.Profiler()}
 	if l.tr = env.Tracer(); l.tr != nil {
 		l.tk = l.tr.Track("irq:" + name)
 	}
@@ -356,7 +368,11 @@ func (l *IRQLine) Wait(p *sim.Proc) any {
 	if l.tr != nil {
 		sp = l.tr.Begin(l.tk, "irq-handle")
 	}
+	handleStart := p.Now()
 	p.Sleep(l.cfg.Scaled(l.cfg.IRQCost))
+	if l.pf != nil {
+		l.pf.Charge(p, "virtio:irq", handleStart)
+	}
 	if l.tr != nil {
 		l.tr.End(l.tk, sp)
 	}
@@ -380,7 +396,11 @@ func (l *IRQLine) WaitBatch(p *sim.Proc) []any {
 	if l.tr != nil {
 		sp = l.tr.Begin(l.tk, "irq-handle")
 	}
+	handleStart := p.Now()
 	p.Sleep(l.cfg.Scaled(l.cfg.IRQCost))
+	if l.pf != nil {
+		l.pf.Charge(p, "virtio:irq", handleStart)
+	}
 	if l.tr != nil {
 		l.tr.End(l.tk, sp)
 	}

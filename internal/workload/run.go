@@ -8,6 +8,7 @@ import (
 	"repro/internal/guest"
 	"repro/internal/hostsim"
 	"repro/internal/obs"
+	"repro/internal/prof"
 	"repro/internal/sim"
 	"repro/internal/svm"
 )
@@ -166,12 +167,22 @@ func NewSession(preset emulator.Preset, machineFn func(*sim.Env) *hostsim.Machin
 // and metric handles at construction. Either of tr and reg may be nil.
 func NewObservedSession(preset emulator.Preset, machineFn func(*sim.Env) *hostsim.Machine,
 	seed int64, tr *obs.Tracer, reg *obs.Registry) *Session {
+	return NewProfiledSession(preset, machineFn, seed, tr, reg, nil)
+}
+
+// NewProfiledSession is NewObservedSession with a critical-path profiler
+// attached as well (nil disables profiling, costing nothing).
+func NewProfiledSession(preset emulator.Preset, machineFn func(*sim.Env) *hostsim.Machine,
+	seed int64, tr *obs.Tracer, reg *obs.Registry, pf *prof.Profiler) *Session {
 	env := sim.NewEnv(seed)
 	if tr != nil {
 		env.SetTracer(tr)
 	}
 	if reg != nil {
 		env.SetMetrics(reg)
+	}
+	if pf != nil {
+		env.SetProfiler(pf)
 	}
 	mach := machineFn(env)
 	return &Session{Env: env, Machine: mach, Emulator: emulator.New(env, mach, preset)}

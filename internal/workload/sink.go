@@ -8,6 +8,7 @@ import (
 	"repro/internal/guest"
 	"repro/internal/hostsim"
 	"repro/internal/metrics"
+	"repro/internal/prof"
 	"repro/internal/sim"
 	"repro/internal/svm"
 )
@@ -106,9 +107,19 @@ func (s *sink) run(p *sim.Proc) {
 	}
 	period := s.spec.FramePeriod()
 	tol := s.spec.StaleTolerance
+	pf := s.e.Env.Profiler()
 	var anchor time.Duration = -1
 	for p.Now() < s.stop {
+		var frame *prof.Node
+		if pf != nil {
+			frame = pf.NewNode("frame", "app")
+			pf.Bind(p, frame)
+		}
+		acqStart := p.Now()
 		b := s.q.Acquire(p)
+		if pf != nil {
+			pf.Wait(p, "buffer:acquire", acqStart, b.Ticket.ProfNode())
+		}
 		backlog := s.q.FilledCount()
 		if anchor < 0 {
 			anchor = p.Now() - b.PTS
@@ -133,7 +144,13 @@ func (s *sink) run(p *sim.Proc) {
 			continue
 		}
 		if wait := sched - p.Now(); wait > 0 {
+			paceStart := p.Now()
 			p.Sleep(wait)
+			if pf != nil {
+				// Intentional idle: waiting for the frame's PTS slot, not
+				// a component at fault.
+				pf.Charge(p, "pacing", paceStart)
+			}
 		}
 		if s.cpuPerFrame > 0 {
 			s.e.Machine.CPU.Exec(p, s.cpuPerFrame)
@@ -173,20 +190,36 @@ func (s *sink) run(p *sim.Proc) {
 				if s.measureLatency && src > 0 {
 					s.lat.AddDuration(at - src)
 				}
+				pf.FrameDone(frame, at)
 			},
 		})
 		// The buffer may be reused once the GPU has sampled it.
+		readyStart := p.Now()
 		last.Ready.Wait(p)
+		if pf != nil {
+			pf.Wait(p, "ready:wait", readyStart, last.ProfNode())
+		}
 		s.q.Release(p, b)
 	}
+	pf.Bind(p, nil)
 }
 
 // runLatestWins is the compositor path: drain the queue to the freshest
 // frame (dropping older ones unrendered), latch at the next refresh, and
 // present unconditionally.
 func (s *sink) runLatestWins(p *sim.Proc) {
+	pf := s.e.Env.Profiler()
 	for p.Now() < s.stop {
+		var frame *prof.Node
+		if pf != nil {
+			frame = pf.NewNode("frame", "app")
+			pf.Bind(p, frame)
+		}
+		acqStart := p.Now()
 		b := s.q.Acquire(p)
+		if pf != nil {
+			pf.Wait(p, "buffer:acquire", acqStart, b.Ticket.ProfNode())
+		}
 		for {
 			nb, ok := s.q.TryAcquire()
 			if !ok {
@@ -197,7 +230,11 @@ func (s *sink) runLatestWins(p *sim.Proc) {
 			s.q.Release(p, b)
 			b = nb
 		}
+		vsStart := p.Now()
 		s.e.VSync.Wait(p)
+		if pf != nil {
+			pf.Wait(p, "vsync:wait", vsStart, nil)
+		}
 		if s.cpuPerFrame > 0 {
 			s.e.Machine.CPU.Exec(p, s.cpuPerFrame)
 		}
@@ -222,11 +259,17 @@ func (s *sink) runLatestWins(p *sim.Proc) {
 				if s.measureLatency && src > 0 {
 					s.lat.AddDuration(at - src)
 				}
+				pf.FrameDone(frame, at)
 			},
 		})
+		readyStart := p.Now()
 		last.Ready.Wait(p)
+		if pf != nil {
+			pf.Wait(p, "ready:wait", readyStart, last.ProfNode())
+		}
 		s.q.Release(p, b)
 	}
+	pf.Bind(p, nil)
 }
 
 // result assembles the run's Result.
