@@ -4,7 +4,7 @@
 
 GO ?= go
 
-.PHONY: check build vet test docs-check race bench-smoke chaos-smoke trace-smoke bench perf-smoke verify
+.PHONY: check build vet test docs-check race bench-smoke chaos-smoke trace-smoke bench perf-smoke perf-gate verify
 
 check: vet build test docs-check
 
@@ -48,14 +48,21 @@ trace-smoke:
 	$(GO) run ./cmd/tracecheck /tmp/vsoc-trace-*.json
 
 # Benchmark trajectory: the profiled micro run (Fig. 16 + critical-path
-# attribution, DESIGN.md §10) written as a machine-readable bench report
-# plus its folded-stack flamegraph. CI uploads both as artifacts.
+# attribution, DESIGN.md §10) with chunked demand fetches on (§11), written
+# as a machine-readable bench report plus its folded-stack flamegraph. CI
+# uploads both as artifacts.
 bench:
-	$(GO) run ./cmd/vsocbench -exp micro -duration 8s -apps 2 -json BENCH_PR5.json -profile BENCH_PR5.folded > /dev/null
+	$(GO) run ./cmd/vsocbench -exp micro -duration 8s -apps 2 -fetch -json BENCH_PR6.json -profile BENCH_PR6.folded > /dev/null
 
 # Perf gate: vsocperf must parse the fresh bench report and find zero
 # regressions diffing it against itself (exit 1 on any).
 perf-smoke: bench
-	$(GO) run ./cmd/vsocperf BENCH_PR5.json BENCH_PR5.json
+	$(GO) run ./cmd/vsocperf BENCH_PR6.json BENCH_PR6.json
 
-verify: check race bench-smoke chaos-smoke trace-smoke perf-smoke
+# Cross-PR perf gate: the fresh chunked-fetch run must not regress against
+# the committed PR5 baseline (vsocperf exits 1 on any regression); in
+# practice it shows the demand-fetch and critical-path means dropping.
+perf-gate: bench
+	$(GO) run ./cmd/vsocperf BENCH_PR5.json BENCH_PR6.json
+
+verify: check race bench-smoke chaos-smoke trace-smoke perf-smoke perf-gate

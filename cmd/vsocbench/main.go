@@ -8,7 +8,7 @@
 //
 //	vsocbench [-exp <name>] [-duration 30s] [-apps 10] [-popular 25]
 //	          [-seed 1] [-workers 0] [-trace out.json] [-metrics]
-//	          [-profile out.folded] [-json bench.json]
+//	          [-profile out.folded] [-json bench.json] [-fetch]
 //
 // Run with -h for the experiment list; names, aliases, ordering, and the
 // per-experiment -trace behavior all come from the shared experiments
@@ -56,6 +56,7 @@ func main() {
 	metrics := flag.Bool("metrics", false, "append a metrics dump to supporting experiment reports")
 	profilePath := flag.String("profile", "", "write the folded-stack flamegraph export where the experiment supports it (see -h)")
 	jsonPath := flag.String("json", "", "write the machine-readable bench report (for cmd/vsocperf) to this path")
+	fetch := flag.Bool("fetch", false, "enable chunked, DMA-promoted demand fetches (DESIGN.md §11) for supporting experiments (micro, fig16)")
 	flag.Usage = func() {
 		out := flag.CommandLine.Output()
 		fmt.Fprintf(out, "Usage of %s:\n", os.Args[0])
@@ -74,6 +75,7 @@ func main() {
 		TracePath:       *tracePath,
 		Metrics:         *metrics,
 		ProfilePath:     *profilePath,
+		Fetch:           *fetch,
 	}
 
 	// Runners by canonical experiment name (see the registry for aliases).
@@ -156,6 +158,10 @@ func main() {
 		},
 		"batching": func() []experiments.BenchMetric {
 			fmt.Print(experiments.FormatBatching(experiments.RunBatching(cfg)))
+			return nil
+		},
+		"fetchpipe": func() []experiments.BenchMetric {
+			fmt.Print(experiments.FormatFetchPipe(experiments.RunFetchPipe(cfg)))
 			return nil
 		},
 	}

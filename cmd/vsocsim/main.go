@@ -19,6 +19,7 @@ import (
 
 	"repro/internal/emulator"
 	"repro/internal/experiments"
+	"repro/internal/hostsim"
 	"repro/internal/workload"
 )
 
@@ -47,6 +48,7 @@ func main() {
 	duration := flag.Duration("duration", 30*time.Second, "simulated duration")
 	seed := flag.Int64("seed", 1, "simulation seed")
 	verbose := flag.Bool("v", false, "print SVM internals")
+	fetch := flag.Bool("fetch", false, "enable chunked, DMA-promoted demand fetches (DESIGN.md §11)")
 	flag.Parse()
 
 	presetFn, ok := presetsByName[strings.ToLower(*emuName)]
@@ -58,7 +60,11 @@ func main() {
 		die("unknown machine %q", *machName)
 	}
 
-	sess := workload.NewSession(presetFn(), machine.New, *seed)
+	preset := presetFn()
+	if *fetch {
+		preset.Fetch = hostsim.EnabledFetch()
+	}
+	sess := workload.NewSession(preset, machine.New, *seed)
 	defer sess.Close()
 
 	var r *workload.Result
@@ -106,6 +112,10 @@ func main() {
 			st.CoherenceCost.Mean(), st.CoherenceCost.Count(), st.DirectShare()*100)
 		fmt.Printf("  prefetch            %d hits, %d waits, %d demand fetches\n",
 			st.PrefetchHits, st.PrefetchWaits, st.DemandFetches)
+		if st.ChunkedFetches > 0 {
+			fmt.Printf("  chunked fetches     %d (%d reader joins)\n",
+				st.ChunkedFetches, st.FetchJoins)
+		}
 		fmt.Printf("  prediction          %.1f%% over %d\n", st.PredictionAccuracy()*100, st.PredTotal)
 		fmt.Printf("  slack intervals     %.1f ms mean over %d\n",
 			st.SlackIntervals.Mean(), st.SlackIntervals.Count())

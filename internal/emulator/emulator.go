@@ -83,6 +83,12 @@ type Preset struct {
 	// for byte; the batching sweep turns it on explicitly.
 	Batch virtio.BatchConfig
 
+	// Fetch enables chunked, DMA-promoted demand fetches on the SVM manager
+	// (DESIGN.md §11). All evaluation presets leave it zero — demand fetches
+	// stay on the monolithic synchronous path, byte-identical to the
+	// pre-chunking emulator; the fetchpipe sweep turns it on explicitly.
+	Fetch hostsim.FetchConfig
+
 	// CameraFPSCap bounds the virtual camera's delivery rate; host webcam
 	// passthrough stacks commonly negotiate UHD at 30 FPS, while vSoC's
 	// paravirtual camera streams the sensor's full 60 FPS (§5.1's UHD60
@@ -128,6 +134,7 @@ const VSyncPeriod = time.Second / 60
 // New assembles an emulator from a preset on the given machine.
 func New(env *sim.Env, mach *hostsim.Machine, p Preset) *Emulator {
 	p.SVM.Batch = p.Batch
+	p.SVM.Fetch = p.Fetch
 	mgr := svm.NewManager(env, mach, p.SVM)
 	for id, name := range virtualNames {
 		mgr.RegisterVirtualDevice(id, name)

@@ -51,6 +51,11 @@ type Config struct {
 	// Empty disables the export; the profiler itself runs whenever the
 	// experiment asks for it and never perturbs simulation results.
 	ProfilePath string
+	// Fetch enables chunked, DMA-promoted demand fetches (DESIGN.md §11)
+	// for the experiments that support it (micro, fig16). Off by default so
+	// every experiment's output matches the pre-chunking emulator byte for
+	// byte; the fetchpipe sweep varies the knobs itself.
+	Fetch bool
 }
 
 // Quick returns a configuration suitable for tests and benchmarks.

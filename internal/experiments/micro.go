@@ -4,6 +4,7 @@ import (
 	"time"
 
 	"repro/internal/emulator"
+	"repro/internal/hostsim"
 	"repro/internal/metrics"
 	"repro/internal/obs"
 	"repro/internal/svm"
@@ -255,7 +256,11 @@ type Fig16Result struct {
 // the prefetch engine replaced by write-invalidate, on the video apps whose
 // render threads the coherence blocks.
 func RunFig16(cfg Config) *Fig16Result {
-	return runFig16Preset(cfg, emulator.VSoCNoPrefetch())
+	preset := emulator.VSoCNoPrefetch()
+	if cfg.Fetch {
+		preset.Fetch = hostsim.EnabledFetch()
+	}
+	return runFig16Preset(cfg, preset)
 }
 
 // runFig16Preset is RunFig16's body with the preset injectable, so the

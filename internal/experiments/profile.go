@@ -5,6 +5,7 @@ import (
 	"strings"
 
 	"repro/internal/emulator"
+	"repro/internal/hostsim"
 	"repro/internal/metrics"
 	"repro/internal/prof"
 	"repro/internal/svm"
@@ -18,6 +19,11 @@ import (
 type MicroResult struct {
 	Fig16  *Fig16Result
 	Report *prof.Report
+	// Fetch-path counters summed across sessions (the fetchpipe sweep
+	// reports them; zero when chunking is off).
+	DemandFetches  int
+	ChunkedFetches int
+	FetchJoins     int
 }
 
 // RunMicro reruns the Fig. 16 workload (write-invalidate video on the
@@ -27,6 +33,15 @@ type MicroResult struct {
 // result is independent of worker count.
 func RunMicro(cfg Config) *MicroResult {
 	preset := emulator.VSoCNoPrefetch()
+	if cfg.Fetch {
+		preset.Fetch = hostsim.EnabledFetch()
+	}
+	return runMicroPreset(cfg, preset)
+}
+
+// runMicroPreset is RunMicro's body with the preset injectable, so the
+// fetchpipe sweep can rerun the same jobs across chunked-fetch settings.
+func runMicroPreset(cfg Config, preset emulator.Preset) *MicroResult {
 	type job struct{ cat, app int }
 	var jobs []job
 	for _, cat := range []int{emulator.CatUHDVideo, emulator.Cat360Video} {
@@ -56,23 +71,26 @@ func RunMicro(cfg Config) *MicroResult {
 	})
 	var all metrics.Distribution
 	merged := prof.New().Report()
+	res := &MicroResult{}
 	for i, o := range outs {
 		if o.st == nil {
 			continue
 		}
 		all.Merge(&o.st.AccessLatency)
+		res.DemandFetches += o.st.DemandFetches
+		res.ChunkedFetches += o.st.ChunkedFetches
+		res.FetchJoins += o.st.FetchJoins
 		o.rep.Retag(fmt.Sprintf("%s/%d", emulator.CategoryNames[jobs[i].cat], jobs[i].app))
 		merged.Merge(o.rep)
 	}
-	return &MicroResult{
-		Fig16: &Fig16Result{
-			CDF:    all.CDF(40),
-			MeanMS: all.Mean(),
-			P99MS:  all.Percentile(99),
-			MaxMS:  all.Max(),
-		},
-		Report: merged,
+	res.Fig16 = &Fig16Result{
+		CDF:    all.CDF(40),
+		MeanMS: all.Mean(),
+		P99MS:  all.Percentile(99),
+		MaxMS:  all.Max(),
 	}
+	res.Report = merged
+	return res
 }
 
 // FormatMicro renders the micro run: the Fig. 16 summary line plus the

@@ -71,6 +71,8 @@ func Registry() []Entry {
 			Trace:   "writes one file per (emulator, fault) cell next to the given path"},
 		{Name: "batching",
 			Summary: "notification-batching sweep: notifications/op and Table-2 deltas across batch windows (DESIGN.md §9); excluded from -exp all"},
+		{Name: "fetchpipe",
+			Summary: "chunked demand-fetch sweep: access latency and sync-copy share across chunk sizes (DESIGN.md §11); excluded from -exp all"},
 	}
 }
 

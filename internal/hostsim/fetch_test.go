@@ -1,0 +1,310 @@
+package hostsim
+
+import (
+	"math/rand"
+	"testing"
+	"time"
+
+	"repro/internal/prof"
+	"repro/internal/sim"
+)
+
+func TestFetchConfigResolvedDefaults(t *testing.T) {
+	c := FetchConfig{Enabled: true}.Resolved()
+	if c.ChunkBytes != 256*KiB || c.DMAThreshold != 64*KiB || c.MaxInflight != 4 {
+		t.Fatalf("Resolved defaults = %+v", c)
+	}
+	// Explicit knobs survive resolution.
+	c = FetchConfig{Enabled: true, ChunkBytes: MiB, DMAThreshold: KiB, MaxInflight: 2}.Resolved()
+	if c.ChunkBytes != MiB || c.DMAThreshold != KiB || c.MaxInflight != 2 {
+		t.Fatalf("Resolved clobbered explicit knobs: %+v", c)
+	}
+}
+
+func TestChunkedTransferMovesAllBytes(t *testing.T) {
+	env := sim.NewEnv(1)
+	defer env.Close()
+	m := HighEndDesktop(env)
+	l := m.LinkBetween(m.DRAM, m.VRAM)
+	const size = 10*MiB + 17*KiB // deliberately not chunk-aligned
+	var elapsed time.Duration
+	env.Spawn("x", func(p *sim.Proc) {
+		elapsed, _ = m.CopyChunkedDetailed(p, m.DRAM, m.VRAM, size, EnabledFetch())
+	})
+	env.Run()
+	if l.BytesMoved() != size {
+		t.Fatalf("BytesMoved = %d, want %d", l.BytesMoved(), size)
+	}
+	if elapsed <= 0 {
+		t.Fatal("chunked copy took no time")
+	}
+}
+
+func TestChunkedTransferFasterThanSyncCopy(t *testing.T) {
+	const size = 16 * MiB
+	run := func(chunked bool) time.Duration {
+		env := sim.NewEnv(1)
+		defer env.Close()
+		m := HighEndDesktop(env)
+		var elapsed time.Duration
+		env.Spawn("x", func(p *sim.Proc) {
+			if chunked {
+				elapsed, _ = m.CopyChunkedDetailed(p, m.DRAM, m.VRAM, size, EnabledFetch())
+			} else {
+				elapsed = m.CopySync(p, m.DRAM, m.VRAM, size)
+			}
+		})
+		env.Run()
+		return elapsed
+	}
+	syncT, chunkT := run(false), run(true)
+	// The PCIe DMA path is 10x the sync rate; even with per-batch latency
+	// the chunked transfer must be several times faster.
+	if chunkT*3 > syncT {
+		t.Fatalf("chunked %v not clearly faster than sync %v", chunkT, syncT)
+	}
+}
+
+func TestChunkedPromotionThreshold(t *testing.T) {
+	// Same chunking geometry, threshold above vs below the chunk size: the
+	// demoted run pays the sync rate and must be far slower.
+	const size = 8 * MiB
+	run := func(threshold Bytes) time.Duration {
+		env := sim.NewEnv(1)
+		defer env.Close()
+		m := HighEndDesktop(env)
+		cfg := FetchConfig{Enabled: true, ChunkBytes: 256 * KiB, DMAThreshold: threshold}
+		var elapsed time.Duration
+		env.Spawn("x", func(p *sim.Proc) {
+			elapsed, _ = m.CopyChunkedDetailed(p, m.DRAM, m.VRAM, size, cfg)
+		})
+		env.Run()
+		return elapsed
+	}
+	promoted := run(64 * KiB) // 256 KiB chunks >= 64 KiB -> DMA
+	demoted := run(512 * KiB) // 256 KiB chunks < 512 KiB -> sync rate
+	if promoted*3 > demoted {
+		t.Fatalf("promoted %v not clearly faster than demoted %v", promoted, demoted)
+	}
+}
+
+func TestChunkedWaitRangeUnblocksBeforeCompletion(t *testing.T) {
+	env := sim.NewEnv(1)
+	defer env.Close()
+	m := HighEndDesktop(env)
+	const size = 32 * MiB
+	var partial, full time.Duration
+	var doneAtPartial bool
+	env.Spawn("x", func(p *sim.Proc) {
+		ct := m.CopyChunkedStart(m.DRAM, m.VRAM, size, EnabledFetch())
+		ct.WaitRange(p, MiB) // reader touches only the first MiB
+		partial = p.Now()
+		doneAtPartial = ct.Done()
+		ct.WaitRange(p, size)
+		full = p.Now()
+	})
+	env.Run()
+	if doneAtPartial {
+		t.Fatal("transfer should still be in flight when the accessed range lands")
+	}
+	if partial >= full {
+		t.Fatalf("partial wait %v not earlier than full wait %v", partial, full)
+	}
+	if partial*4 > full {
+		t.Fatalf("partial wait %v should be a small fraction of full %v", partial, full)
+	}
+}
+
+func TestChunkedTransferInterleavesWithOtherTraffic(t *testing.T) {
+	// A small DMA transfer issued just after a large chunked fetch starts
+	// must complete long before the fetch does — the semaphore release
+	// between descriptor batches lets it in. Under a monolithic sync copy it
+	// would be head-of-line blocked for the whole copy.
+	env := sim.NewEnv(1)
+	defer env.Close()
+	m := HighEndDesktop(env)
+	l := m.LinkBetween(m.DRAM, m.VRAM)
+	const big = 64 * MiB
+	var fetchDone, smallDone time.Duration
+	env.Spawn("fetch", func(p *sim.Proc) {
+		_, _ = m.CopyChunkedDetailed(p, m.DRAM, m.VRAM, big, EnabledFetch())
+		fetchDone = p.Now()
+	})
+	env.Spawn("push", func(p *sim.Proc) {
+		p.Sleep(50 * time.Microsecond) // arrive after the first batch starts
+		l.Transfer(p, 256*KiB)
+		smallDone = p.Now()
+	})
+	env.Run()
+	if smallDone >= fetchDone {
+		t.Fatalf("small transfer at %v did not interleave before fetch end %v", smallDone, fetchDone)
+	}
+	if smallDone > fetchDone/2 {
+		t.Fatalf("small transfer at %v should land well before fetch end %v", smallDone, fetchDone)
+	}
+}
+
+func TestChunkedLossRetriesWithoutDoubleCounting(t *testing.T) {
+	env := sim.NewEnv(1)
+	defer env.Close()
+	m := HighEndDesktop(env)
+	l := m.LinkBetween(m.DRAM, m.VRAM)
+	l.SetDMALoss(0.5, rand.New(rand.NewSource(42)))
+	const size = 8 * MiB
+	var service time.Duration
+	env.Spawn("x", func(p *sim.Proc) {
+		_, service = m.CopyChunkedDetailed(p, m.DRAM, m.VRAM, size, EnabledFetch())
+	})
+	env.Run()
+	if l.BytesMoved() != size {
+		t.Fatalf("BytesMoved = %d, want exactly %d (retries must not double-count)", l.BytesMoved(), size)
+	}
+	if l.DMARetries() == 0 {
+		t.Fatal("expected re-driven chunks at 50% loss")
+	}
+	// Retries show up as extra service time, not extra bytes.
+	wire := time.Duration(float64(size) / l.Bandwidth * float64(time.Second))
+	if service <= wire {
+		t.Fatalf("service %v should exceed lossless wire time %v", service, wire)
+	}
+}
+
+func TestDMAGiveupCounterOnMonolithicPath(t *testing.T) {
+	env := sim.NewEnv(1)
+	defer env.Close()
+	l := NewLink(env, "lossy", float64(1*GiB), 0)
+	l.SetDMALoss(1.0, rand.New(rand.NewSource(7)))
+	env.Spawn("x", func(p *sim.Proc) { l.Transfer(p, MiB) })
+	env.Run()
+	if l.DMAGiveUps() != 1 {
+		t.Fatalf("DMAGiveUps = %d, want 1 (loss=1.0 exhausts the retry budget)", l.DMAGiveUps())
+	}
+	if l.DMARetries() != maxDMARetries {
+		t.Fatalf("DMARetries = %d, want %d", l.DMARetries(), maxDMARetries)
+	}
+	if l.BytesMoved() != MiB {
+		t.Fatalf("BytesMoved = %d, want %d", l.BytesMoved(), MiB)
+	}
+}
+
+func TestDMAGiveupCounterOnChunkedPath(t *testing.T) {
+	env := sim.NewEnv(1)
+	defer env.Close()
+	m := HighEndDesktop(env)
+	l := m.LinkBetween(m.DRAM, m.VRAM)
+	l.SetDMALoss(1.0, rand.New(rand.NewSource(7)))
+	env.Spawn("x", func(p *sim.Proc) {
+		m.CopyChunkedDetailed(p, m.DRAM, m.VRAM, MiB, EnabledFetch())
+	})
+	env.Run()
+	// 4 chunks of 256 KiB, every one exhausts its retry budget.
+	if l.DMAGiveUps() != 4 {
+		t.Fatalf("DMAGiveUps = %d, want 4", l.DMAGiveUps())
+	}
+	if l.BytesMoved() != MiB {
+		t.Fatalf("BytesMoved = %d, want %d", l.BytesMoved(), MiB)
+	}
+}
+
+func TestGiveupDetectionPreservesRandomSequence(t *testing.T) {
+	// The giveup check must not sample the loss rng: two links driven by
+	// identically-seeded rngs, one transfer each, draw the same sequence
+	// whether or not a giveup fires along the way.
+	draws := func(loss float64) []float64 {
+		env := sim.NewEnv(1)
+		defer env.Close()
+		l := NewLink(env, "l", float64(1*GiB), 0)
+		rng := rand.New(rand.NewSource(99))
+		l.SetDMALoss(loss, rng)
+		env.Spawn("x", func(p *sim.Proc) { l.Transfer(p, MiB) })
+		env.Run()
+		out := make([]float64, 4)
+		for i := range out {
+			out[i] = rng.Float64()
+		}
+		return out
+	}
+	// At loss=1.0 the transfer draws maxDMARetries times then gives up; a
+	// second run must leave the rng at the same position.
+	a, b := draws(1.0), draws(1.0)
+	for i := range a {
+		if a[i] != b[i] {
+			t.Fatalf("rng diverged after giveup: %v vs %v", a, b)
+		}
+	}
+}
+
+func TestChargeWaitPartitionsInterval(t *testing.T) {
+	env := sim.NewEnv(1)
+	defer env.Close()
+	pf := prof.New()
+	pf.SetNow(env.Now)
+	env.SetProfiler(pf)
+	m := HighEndDesktop(env)
+	const size = 4 * MiB
+	key := "reader"
+	env.Spawn("x", func(p *sim.Proc) {
+		pf.BeginClass(key, "test-fetch")
+		start := p.Now()
+		ct := m.CopyChunkedStart(m.DRAM, m.VRAM, size, EnabledFetch())
+		ct.WaitRange(p, size)
+		ct.ChargeWait(key, start, p.Now())
+		pf.EndClass(key)
+	})
+	env.Run()
+	cs := pf.Report().Classes["test-fetch"]
+	if cs == nil {
+		t.Fatal("no class stats recorded")
+	}
+	var named time.Duration
+	for _, d := range cs.Comps {
+		named += d
+	}
+	if named != cs.Total {
+		t.Fatalf("ChargeWait must fully partition the wait: named %v, total %v", named, cs.Total)
+	}
+	if cs.Comps["link:pcie-h2d:dma-chunk"] == 0 {
+		t.Fatal("no dma-chunk component charged")
+	}
+	if cs.Comps["link:pcie-h2d:chunk-queue"] == 0 {
+		t.Fatal("no chunk-queue component charged")
+	}
+}
+
+func TestChunkedTransferRoutesViaDRAM(t *testing.T) {
+	env := sim.NewEnv(1)
+	defer env.Close()
+	m := HighEndDesktop(env)
+	if m.HasDirectLink(m.Guest, m.VRAM) {
+		t.Skip("guest->vram unexpectedly direct")
+	}
+	const size = 2 * MiB
+	env.Spawn("x", func(p *sim.Proc) {
+		m.CopyChunkedDetailed(p, m.Guest, m.VRAM, size, EnabledFetch())
+	})
+	env.Run()
+	if m.TotalBytesMoved() != 2*size {
+		t.Fatalf("TotalBytesMoved = %d, want %d (two hops)", m.TotalBytesMoved(), 2*size)
+	}
+}
+
+func TestChunkedOnCompleteRunsOnce(t *testing.T) {
+	env := sim.NewEnv(1)
+	defer env.Close()
+	m := HighEndDesktop(env)
+	calls := 0
+	env.Spawn("x", func(p *sim.Proc) {
+		ct := m.CopyChunkedStart(m.DRAM, m.VRAM, MiB, EnabledFetch())
+		ct.OnComplete(func() { calls++ })
+		ct.WaitRange(p, MiB)
+		if !ct.Done() {
+			t.Error("transfer not done after full WaitRange")
+		}
+		// Registering after completion fires immediately.
+		ct.OnComplete(func() { calls += 10 })
+	})
+	env.Run()
+	if calls != 11 {
+		t.Fatalf("OnComplete calls = %d, want 11", calls)
+	}
+}

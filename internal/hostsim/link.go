@@ -38,19 +38,26 @@ type Link struct {
 	dmaLoss float64
 	lossRng *rand.Rand
 	retries int
+	// giveups counts transfers that exhausted maxDMARetries re-drives and
+	// proceeded anyway; each one is also a metrics counter tick and a trace
+	// instant, so exhausted retries are visible instead of silent.
+	giveups int
 
-	tr       *obs.Tracer
-	tk       obs.Track
-	bytesCtr *obs.Counter
-	retryCtr *obs.Counter
-	degGauge *obs.Gauge
+	tr        *obs.Tracer
+	tk        obs.Track
+	bytesCtr  *obs.Counter
+	retryCtr  *obs.Counter
+	giveupCtr *obs.Counter
+	degGauge  *obs.Gauge
 
 	// Critical-path profiler plus labels precomputed at construction so
 	// the enabled path does not build strings per transfer.
-	pf       *prof.Profiler
-	lblQueue string
-	lblDMA   string
-	lblSync  string
+	pf          *prof.Profiler
+	lblQueue    string
+	lblDMA      string
+	lblSync     string
+	lblChunkQ   string
+	lblChunkDMA string
 }
 
 // maxDMARetries bounds re-drives of a lossy DMA transfer so an injected
@@ -71,12 +78,15 @@ func NewLink(env *sim.Env, name string, bandwidth float64, latency time.Duration
 	if reg := env.Metrics(); reg != nil {
 		l.bytesCtr = reg.Counter("link." + name + ".bytes")
 		l.retryCtr = reg.Counter("link." + name + ".dma_retries")
+		l.giveupCtr = reg.Counter("link." + name + ".dma_giveups")
 		l.degGauge = reg.Gauge("link." + name + ".degradation")
 	}
 	if l.pf = env.Profiler(); l.pf != nil {
 		l.lblQueue = "link:" + name + ":queue"
 		l.lblDMA = "link:" + name + ":dma"
 		l.lblSync = "link:" + name + ":sync-copy"
+		l.lblChunkQ = "link:" + name + ":chunk-queue"
+		l.lblChunkDMA = "link:" + name + ":dma-chunk"
 	}
 	return l
 }
@@ -109,6 +119,54 @@ func (l *Link) SetDMALoss(prob float64, rng *rand.Rand) {
 
 // DMARetries returns how many lost DMA transfers were re-driven.
 func (l *Link) DMARetries() int { return l.retries }
+
+// DMAGiveUps returns how many transfers exhausted their retry budget and
+// proceeded without a delivery re-check.
+func (l *Link) DMAGiveUps() int { return l.giveups }
+
+// noteRetry records one lost-and-re-driven DMA attempt.
+func (l *Link) noteRetry() {
+	l.retries++
+	if l.tr != nil {
+		l.tr.Instant(l.tk, "dma-retry")
+	}
+	l.retryCtr.Inc()
+}
+
+// noteGiveup records a transfer that hit maxDMARetries and stopped
+// re-checking delivery. Detection never samples lossRng, so the random
+// sequence — and every downstream simulation event — is unchanged by the
+// accounting.
+func (l *Link) noteGiveup() {
+	l.giveups++
+	if l.tr != nil {
+		l.tr.Instant(l.tk, "dma-giveup")
+	}
+	l.giveupCtr.Inc()
+}
+
+// lossyDMASleep sleeps out one transfer of wire time d, re-driving it on
+// injected DMA loss up to maxDMARetries times, and returns the total
+// service time. lossy gates the retry machinery (sync copies never retry).
+func (l *Link) lossyDMASleep(p *sim.Proc, d time.Duration, lossy bool) time.Duration {
+	var service time.Duration
+	for attempt := 0; ; attempt++ {
+		p.Sleep(d)
+		service += d
+		if !lossy || l.dmaLoss <= 0 || l.lossRng == nil {
+			break
+		}
+		if attempt >= maxDMARetries {
+			l.noteGiveup()
+			break
+		}
+		if l.lossRng.Float64() >= l.dmaLoss {
+			break
+		}
+		l.noteRetry()
+	}
+	return service
+}
 
 // TransferTime returns the uncontended duration to move size bytes by DMA.
 func (l *Link) TransferTime(size Bytes) time.Duration {
@@ -159,20 +217,7 @@ func (l *Link) transfer(p *sim.Proc, size Bytes, sync bool) (time.Duration, time
 	if sync {
 		d = l.SyncTransferTime(size)
 	}
-	var service time.Duration
-	for attempt := 0; ; attempt++ {
-		p.Sleep(d)
-		service += d
-		if sync || l.dmaLoss <= 0 || l.lossRng == nil || attempt >= maxDMARetries ||
-			l.lossRng.Float64() >= l.dmaLoss {
-			break
-		}
-		l.retries++
-		if l.tr != nil {
-			l.tr.Instant(l.tk, "dma-retry")
-		}
-		l.retryCtr.Inc()
-	}
+	service := l.lossyDMASleep(p, d, !sync)
 	if l.tr != nil {
 		l.tr.End(l.tk, sp)
 	}

@@ -62,6 +62,10 @@ func (m *Manager) copyCoherenceOpts(p *sim.Proc, from, to *hostsim.Domain, bytes
 // demandFetch synchronously brings acc.Domain current from the owner,
 // using the slow synchronous copy path.
 func (m *Manager) demandFetch(p *sim.Proc, r *Region, acc Accessor, bytes hostsim.Bytes, direct bool) {
+	if m.cfg.Fetch.Enabled {
+		m.chunkedDemandFetch(p, r, acc, bytes, direct)
+		return
+	}
 	m.stats.DemandFetches++
 	m.om.demandFetches.Inc()
 	if m.pf != nil {

@@ -39,6 +39,12 @@ type Region struct {
 	inflight  map[*hostsim.Domain]*inflightFetch
 	delivered map[*hostsim.Domain]bool
 
+	// chunked tracks the running chunked demand fetch toward each domain,
+	// so a second reader joins the in-flight transfer instead of re-driving
+	// it (DESIGN.md §11). Nil until the first chunked fetch — regions on the
+	// monolithic path carry no extra state.
+	chunked map[*hostsim.Domain]*chunkedFetch
+
 	// materialized is set on first access (lazy allocation, §3.2).
 	materialized bool
 

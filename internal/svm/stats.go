@@ -53,6 +53,10 @@ type Stats struct {
 	CoherenceBatches int // transport transactions those pushes rode
 	PushesCoalesced  int // pushes that joined an already-open batch
 
+	// Chunked demand fetches (DESIGN.md §11). Zero with chunking off.
+	ChunkedFetches int // demand fetches driven as chunked DMA transfers
+	FetchJoins     int // readers that joined an already-running chunked fetch
+
 	// Coherence path outcomes.
 	PrefetchHits    int // data was already in place at begin_access
 	PrefetchWaits   int // begin_access waited for an in-flight prefetch

@@ -127,6 +127,11 @@ type Config struct {
 	// DESIGN.md §9). The zero value disables it: every push dispatches on
 	// its own transaction, byte-identical to the pre-batching manager.
 	Batch virtio.BatchConfig
+	// Fetch configures chunked, DMA-promoted demand fetches (DESIGN.md
+	// §11). The zero value disables chunking: demand fetches stay on the
+	// monolithic synchronous copy path, byte-identical to the pre-chunking
+	// manager.
+	Fetch hostsim.FetchConfig
 }
 
 // DefaultConfig returns a vSoC-style configuration.
@@ -231,6 +236,9 @@ func NewManager(env *sim.Env, mach *hostsim.Machine, cfg Config) *Manager {
 	}
 	if cfg.Batch.Enabled {
 		m.coal = newPushCoalescer(m, cfg.Batch)
+	}
+	if cfg.Fetch.Enabled {
+		m.cfg.Fetch = cfg.Fetch.Resolved()
 	}
 	return m
 }
