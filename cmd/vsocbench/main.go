@@ -6,9 +6,10 @@
 //
 // Usage:
 //
-//	vsocbench [-exp <name>] [-duration 30s] [-apps 10] [-popular 25]
-//	          [-seed 1] [-workers 0] [-trace out.json] [-metrics]
-//	          [-profile out.folded] [-json bench.json] [-fetch]
+//	vsocbench [-exp <name>[,<name>...]] [-duration 30s] [-apps 10]
+//	          [-popular 25] [-seed 1] [-workers 0] [-trace out.json]
+//	          [-metrics] [-profile out.folded] [-json bench.json] [-fetch]
+//	          [-shards N]
 //
 // Run with -h for the experiment list; names, aliases, ordering, and the
 // per-experiment -trace behavior all come from the shared experiments
@@ -40,13 +41,14 @@ import (
 	"flag"
 	"fmt"
 	"os"
+	"strings"
 	"time"
 
 	"repro/internal/experiments"
 )
 
 func main() {
-	exp := flag.String("exp", "all", "experiment to run ("+experiments.ExperimentNames()+")")
+	exp := flag.String("exp", "all", "experiment to run, or a comma-separated list ("+experiments.ExperimentNames()+")")
 	duration := flag.Duration("duration", 30*time.Second, "simulated duration per app")
 	apps := flag.Int("apps", 10, "apps per emerging category")
 	popular := flag.Int("popular", 25, "popular apps to run")
@@ -57,6 +59,7 @@ func main() {
 	profilePath := flag.String("profile", "", "write the folded-stack flamegraph export where the experiment supports it (see -h)")
 	jsonPath := flag.String("json", "", "write the machine-readable bench report (for cmd/vsocperf) to this path")
 	fetch := flag.Bool("fetch", false, "enable chunked, DMA-promoted demand fetches (DESIGN.md §11) for supporting experiments (micro, fig16)")
+	shards := flag.Int("shards", 0, "shard count for the shardscale farm (DESIGN.md §12): 0 sweeps 1,2,4,8; N>1 runs 1 and N")
 	flag.Usage = func() {
 		out := flag.CommandLine.Output()
 		fmt.Fprintf(out, "Usage of %s:\n", os.Args[0])
@@ -76,6 +79,7 @@ func main() {
 		Metrics:         *metrics,
 		ProfilePath:     *profilePath,
 		Fetch:           *fetch,
+		Shards:          *shards,
 	}
 
 	// Runners by canonical experiment name (see the registry for aliases).
@@ -164,13 +168,37 @@ func main() {
 			fmt.Print(experiments.FormatFetchPipe(experiments.RunFetchPipe(cfg)))
 			return nil
 		},
+		"shardscale": func() []experiments.BenchMetric {
+			r := experiments.RunShardScale(cfg)
+			fmt.Print(experiments.FormatShardScale(r))
+			return experiments.ShardScaleBenchMetrics(r)
+		},
 	}
 
-	entry, known := experiments.LookupExperiment(*exp)
-	if *exp != "all" && !known {
-		fmt.Fprintf(os.Stderr, "unknown experiment %q\n", *exp)
-		flag.Usage()
-		os.Exit(2)
+	// -exp accepts a comma-separated list (e.g. micro,shardscale), run in
+	// the order given with their bench metrics merged into one -json report.
+	var entries []experiments.Entry
+	var labels []string
+	if *exp != "all" {
+		for _, name := range strings.Split(*exp, ",") {
+			name = strings.TrimSpace(name)
+			if name == "" {
+				continue
+			}
+			e, known := experiments.LookupExperiment(name)
+			if !known {
+				fmt.Fprintf(os.Stderr, "unknown experiment %q\n", name)
+				flag.Usage()
+				os.Exit(2)
+			}
+			entries = append(entries, e)
+			labels = append(labels, name)
+		}
+		if len(entries) == 0 {
+			fmt.Fprintf(os.Stderr, "empty -exp list\n")
+			flag.Usage()
+			os.Exit(2)
+		}
 	}
 
 	wallStart := time.Now()
@@ -189,8 +217,10 @@ func main() {
 			}
 		}
 	} else {
-		// Label with the name as typed, so alias runs log as requested.
-		timed(entry.Name, *exp, runners[entry.Name])
+		// Label with the names as typed, so alias runs log as requested.
+		for i, e := range entries {
+			timed(e.Name, labels[i], runners[e.Name])
+		}
 	}
 	if *jsonPath != "" {
 		if err := experiments.NewBenchReport(bench).WriteJSONFile(*jsonPath); err != nil {

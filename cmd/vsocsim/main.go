@@ -7,7 +7,14 @@
 //	vsocsim [-emulator vsoc|gae|qemu|ldplayer|bluestacks|trinity|vsoc-noprefetch|vsoc-nofence]
 //	        [-machine highend|midend|pixel]
 //	        [-app uhd|360|camera|ar|livestream|heavy3d|ui|social]
-//	        [-duration 30s] [-seed 1] [-v]
+//	        [-duration 30s] [-seed 1] [-v] [-shards N]
+//
+// With -shards N the command switches to farm mode: N guest instances of
+// the app run on one physical host under the conservative parallel
+// scheduler (DESIGN.md §12), one shard per guest, with the shared-host
+// arbiter coupling their PCIe links at window barriers. Per-guest results
+// are deterministic — identical at every N — while the trailing events/s
+// line measures the host's parallel throughput.
 package main
 
 import (
@@ -20,6 +27,7 @@ import (
 	"repro/internal/emulator"
 	"repro/internal/experiments"
 	"repro/internal/hostsim"
+	"repro/internal/sim"
 	"repro/internal/workload"
 )
 
@@ -49,6 +57,7 @@ func main() {
 	seed := flag.Int64("seed", 1, "simulation seed")
 	verbose := flag.Bool("v", false, "print SVM internals")
 	fetch := flag.Bool("fetch", false, "enable chunked, DMA-promoted demand fetches (DESIGN.md §11)")
+	shards := flag.Int("shards", 0, "farm mode: run N guest instances under the sharded scheduler (DESIGN.md §12); 0 = single instance")
 	flag.Parse()
 
 	presetFn, ok := presetsByName[strings.ToLower(*emuName)]
@@ -63,6 +72,10 @@ func main() {
 	preset := presetFn()
 	if *fetch {
 		preset.Fetch = hostsim.EnabledFetch()
+	}
+	if *shards > 0 {
+		runFarm(preset, machine, strings.ToLower(*appName), *duration, *seed, *shards)
+		return
 	}
 	sess := workload.NewSession(preset, machine.New, *seed)
 	defer sess.Close()
@@ -129,6 +142,63 @@ func main() {
 			fmt.Printf("  thermal             %.0f C, throttled=%v\n", th.Temperature(), th.Throttled())
 		}
 	}
+}
+
+// farmCategories maps the emerging app names onto their Table 1 category
+// (the popular-app kinds drive their own environment loop and cannot join a
+// shard group).
+var farmCategories = map[string]int{
+	"uhd":        emulator.CatUHDVideo,
+	"360":        emulator.Cat360Video,
+	"camera":     emulator.CatCamera,
+	"ar":         emulator.CatAR,
+	"livestream": emulator.CatLivestream,
+}
+
+// runFarm runs n guest instances of the app as a sharded farm: one
+// environment and one shard per guest, coupled through the shared-host
+// arbiter at window barriers.
+func runFarm(preset emulator.Preset, machine experiments.MachineSpec, app string, dur time.Duration, seed int64, n int) {
+	cat, ok := farmCategories[app]
+	if !ok {
+		die("-shards farm mode supports the emerging apps only (uhd, 360, camera, ar, livestream)")
+	}
+	envs := make([]*sim.Env, 0, n)
+	machs := make([]*hostsim.Machine, 0, n)
+	pend := make([]*workload.Pending, 0, n)
+	var stop time.Duration
+	for g := 0; g < n; g++ {
+		sess := workload.NewSession(preset, machine.New, seed+int64(g)*1000003)
+		defer sess.Close()
+		envs = append(envs, sess.Env)
+		machs = append(machs, sess.Machine)
+		pd, err := workload.StartEmerging(sess.Emulator, workload.DefaultSpec(cat, g, dur))
+		if err != nil {
+			die("guest %d: %v", g, err)
+		}
+		pend = append(pend, pd)
+		if pd.Stop() > stop {
+			stop = pd.Stop()
+		}
+	}
+	sh := hostsim.NewSharedHost(hostsim.SharedHostConfig{}, machs...)
+	grp := sim.NewShardGroup(sh.Lookahead(), n, envs...)
+	defer grp.Close()
+	sh.Attach(grp)
+	wallStart := time.Now()
+	grp.RunUntil(stop)
+	wall := time.Since(wallStart)
+	for g, pd := range pend {
+		r, err := pd.Wait()
+		if err != nil {
+			die("guest %d: %v", g, err)
+		}
+		fmt.Printf("guest %d: %v\n", g, r)
+	}
+	events := grp.ExecutedEvents()
+	fmt.Printf("farm: %d guests on %d shards, lookahead %v, %d events in %.2fs wall (%.0f events/s)\n",
+		n, grp.Shards(), grp.Lookahead(), events, wall.Seconds(),
+		float64(events)/wall.Seconds())
 }
 
 func die(format string, args ...any) {

@@ -56,6 +56,12 @@ type Config struct {
 	// every experiment's output matches the pre-chunking emulator byte for
 	// byte; the fetchpipe sweep varies the knobs itself.
 	Fetch bool
+	// Shards selects the conservative parallel scheduler's shard count for
+	// the shardscale farm (DESIGN.md §12): 0 sweeps the {1,2,4,8} ladder,
+	// 1 runs the serial path only, N > 1 runs {1, N}. Simulation results
+	// are identical at every setting — sharding only trades wall-clock time
+	// for cores.
+	Shards int
 }
 
 // Quick returns a configuration suitable for tests and benchmarks.

@@ -161,3 +161,23 @@ func TestMicroAttribution(t *testing.T) {
 		t.Fatalf("MicroBenchMetrics returned %d metrics, want >= 5", len(ms))
 	}
 }
+
+// TestMicroAttributionNeverOvercharged pins the other bound of the coverage
+// invariant: named component charges can never exceed the class's blocked
+// wall time. Coverage above 1.0 would mean some interval was charged into
+// two components at once — the ChargeWait batch-boundary double-charge this
+// PR's hostsim property test guards at the unit level.
+func TestMicroAttributionNeverOvercharged(t *testing.T) {
+	for _, fetch := range []bool{false, true} {
+		cfg := detCfg(1, 0)
+		cfg.Fetch = fetch
+		r := RunMicro(cfg)
+		cov, _ := r.Report.ClassCoverage("demand-fetch")
+		if cov > 1.0 {
+			t.Errorf("fetch=%v: demand-fetch coverage = %.6f > 1.0 (double-charged interval)", fetch, cov)
+		}
+		if cov < 0.95 {
+			t.Errorf("fetch=%v: demand-fetch coverage = %.6f, want >= 0.95", fetch, cov)
+		}
+	}
+}

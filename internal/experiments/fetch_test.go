@@ -50,6 +50,37 @@ func TestFetchDisabledMatchesCommittedBaseline(t *testing.T) {
 	}
 }
 
+// TestSerialPathMatchesCommittedPR6Baseline pins the parallel scheduler's
+// no-regression half: the serial scheduler path is untouched, so the micro
+// run at the committed bench parameters (chunking on, the PR 6 `make bench`
+// line) reproduces BENCH_PR6.json metric for metric.
+func TestSerialPathMatchesCommittedPR6Baseline(t *testing.T) {
+	if testing.Short() {
+		t.Skip("full bench-parameter micro run")
+	}
+	base, err := ReadBenchReportFile("../../BENCH_PR6.json")
+	if err != nil {
+		t.Fatalf("reading committed baseline: %v", err)
+	}
+	// Exactly the committed PR 6 `make bench` parameters.
+	cfg := Config{Duration: 8 * time.Second, AppsPerCategory: 2, Seed: 1, Fetch: true}
+	got := NewBenchReport(map[string][]BenchMetric{"micro": MicroBenchMetrics(RunMicro(cfg))})
+	if len(got.Metrics) == 0 {
+		t.Fatal("micro run produced no metrics")
+	}
+	for _, m := range got.Metrics {
+		want, ok := base.Lookup(m.Name)
+		if !ok {
+			t.Errorf("metric %s missing from committed baseline", m.Name)
+			continue
+		}
+		if m.Value != want.Value {
+			t.Errorf("%s = %.6f, baseline %.6f: the serial path must stay byte-identical",
+				m.Name, m.Value, want.Value)
+		}
+	}
+}
+
 // TestFetchEnabledDeterminism is the forward half: with chunking on, equal
 // seeds produce byte-identical folded exports and reports at any worker
 // count and across reruns (the TestProfilerDeterminism pattern).

@@ -73,6 +73,8 @@ func Registry() []Entry {
 			Summary: "notification-batching sweep: notifications/op and Table-2 deltas across batch windows (DESIGN.md §9); excluded from -exp all"},
 		{Name: "fetchpipe",
 			Summary: "chunked demand-fetch sweep: access latency and sync-copy share across chunk sizes (DESIGN.md §11); excluded from -exp all"},
+		{Name: "shardscale", Bench: true,
+			Summary: "multi-guest farm under the conservative parallel scheduler: determinism check and events/s scaling across shard counts (DESIGN.md §12); excluded from -exp all"},
 	}
 }
 

@@ -1,0 +1,166 @@
+package experiments
+
+import (
+	"math"
+	"reflect"
+	"testing"
+	"time"
+
+	"repro/internal/emulator"
+	"repro/internal/faults"
+	"repro/internal/hostsim"
+	"repro/internal/sim"
+	"repro/internal/workload"
+)
+
+// shardScaleProjection strips a row to its deterministic columns — the
+// contract is that these are byte-identical at every shard count.
+type shardScaleProjection struct {
+	GuestFPS []float64
+	MeanFPS  float64
+	Frames   int
+	Events   uint64
+	Windows  int
+}
+
+func projectRow(r ShardScaleRow) shardScaleProjection {
+	return shardScaleProjection{
+		GuestFPS: r.GuestFPS, MeanFPS: r.MeanFPS, Frames: r.Frames,
+		Events: r.Events, Windows: r.Windows,
+	}
+}
+
+func TestShardScaleDeterministicAcrossCounts(t *testing.T) {
+	cfg := Config{Duration: 2 * time.Second, Seed: 1} // Shards 0: the full ladder
+	res := RunShardScale(cfg)
+	if len(res.Rows) != 4 {
+		t.Fatalf("rows = %d, want 4 (counts 1,2,4,8)", len(res.Rows))
+	}
+	if res.Lookahead <= 0 {
+		t.Fatalf("Lookahead = %v, want > 0", res.Lookahead)
+	}
+	base := projectRow(res.Rows[0])
+	if base.Frames == 0 || base.Events == 0 || base.Windows == 0 || base.MeanFPS <= 0 {
+		t.Fatalf("degenerate serial row: %+v", base)
+	}
+	if len(base.GuestFPS) != shardFarmGuests {
+		t.Fatalf("GuestFPS has %d entries, want %d", len(base.GuestFPS), shardFarmGuests)
+	}
+	for i, row := range res.Rows[1:] {
+		if got := projectRow(row); !reflect.DeepEqual(got, base) {
+			t.Errorf("shards=%d diverged from serial:\n got %+v\nwant %+v",
+				row.Shards, got, base)
+		}
+		_ = i
+	}
+	// The rendered report's simulation columns are identical too: formatting
+	// with the wall columns blanked must collapse to one repeated line.
+	for _, row := range res.Rows {
+		if row.SpeedupX <= 0 {
+			t.Errorf("shards=%d: SpeedupX = %v, want > 0", row.Shards, row.SpeedupX)
+		}
+	}
+}
+
+func TestShardScaleRespectsRequestedCount(t *testing.T) {
+	if got := shardScaleCounts(Config{Shards: 3}); !reflect.DeepEqual(got, []int{1, 3}) {
+		t.Fatalf("Shards=3 counts = %v, want [1 3]", got)
+	}
+	if got := shardScaleCounts(Config{Shards: 1}); !reflect.DeepEqual(got, []int{1}) {
+		t.Fatalf("Shards=1 counts = %v, want [1]", got)
+	}
+	if got := shardScaleCounts(Config{}); !reflect.DeepEqual(got, []int{1, 2, 4, 8}) {
+		t.Fatalf("default counts = %v", got)
+	}
+}
+
+func TestShardScaleBenchMetricsShape(t *testing.T) {
+	res := RunShardScale(Config{Duration: time.Second, Seed: 1, Shards: 2})
+	ms := ShardScaleBenchMetrics(res)
+	names := map[string]bool{}
+	for _, m := range ms {
+		names[m.Name] = true
+	}
+	for _, want := range []string{
+		"shardscale.mean_fps", "shardscale.frames", "shardscale.events_total",
+		"shardscale.windows", "shardscale.events_per_sec_serial",
+		"shardscale.events_per_sec_shards2", "shardscale.speedup_x",
+	} {
+		if !names[want] {
+			t.Errorf("bench metrics missing %s (have %v)", want, names)
+		}
+	}
+	out := FormatShardScale(res)
+	if out == "" {
+		t.Fatal("empty formatted report")
+	}
+}
+
+// runChaosFarm drives a two-guest farm on two shards — optionally with a
+// link collapse on guest 0 for the middle third of the run, opening and
+// closing mid-window — and returns guest 0's result.
+func runChaosFarm(t *testing.T, dur time.Duration, fault bool) *workload.Result {
+	t.Helper()
+	cats := []int{emulator.CatUHDVideo, emulator.CatLivestream}
+	var (
+		sessions []*workload.Session
+		envs     []*sim.Env
+		machs    []*hostsim.Machine
+		pend     []*workload.Pending
+		stop     time.Duration
+	)
+	for g, cat := range cats {
+		sess := workload.NewSession(emulator.VSoC(), HighEnd.New, appSeed(1, 700+g, cat, 0))
+		defer sess.Close()
+		sessions = append(sessions, sess)
+		envs = append(envs, sess.Env)
+		machs = append(machs, sess.Machine)
+		pd, err := workload.StartEmerging(sess.Emulator, workload.DefaultSpec(cat, g, dur))
+		if err != nil {
+			t.Fatalf("guest %d: %v", g, err)
+		}
+		pend = append(pend, pd)
+		if pd.Stop() > stop {
+			stop = pd.Stop()
+		}
+	}
+	if fault {
+		inj := faults.NewInjector(envs[0], 99)
+		inj.Schedule(dur/3, dur/3, faults.LinkCollapse(machs[0], machs[0].DRAM, machs[0].VRAM, 0.4))
+		inj.Arm()
+	}
+	sh := hostsim.NewSharedHost(hostsim.SharedHostConfig{PCIeBudget: shardFarmPCIeBudget}, machs...)
+	grp := sim.NewShardGroup(sh.Lookahead(), 2, envs...)
+	defer grp.Close()
+	sh.Attach(grp)
+	grp.RunUntil(stop)
+	r, err := pend[0].Wait()
+	if err != nil {
+		t.Fatalf("guest 0 result: %v", err)
+	}
+	return r
+}
+
+func TestShardFarmChaosRecoversWithinEnvelope(t *testing.T) {
+	// A 60% link collapse on one guest for the middle third — its window
+	// opening and closing between barriers — must degrade that guest while
+	// it holds and recover to the unfaulted trajectory within the usual
+	// robustness envelope afterwards.
+	const dur = 9 * time.Second
+	base := runChaosFarm(t, dur, false)
+	faulted := runChaosFarm(t, dur, true)
+	atSec := int((dur / 3) / time.Second)
+	endSec := int((2 * dur / 3) / time.Second)
+	baseMid := meanFPSRange(base.PerSecondFPS, atSec, endSec)
+	faultMid := meanFPSRange(faulted.PerSecondFPS, atSec, endSec)
+	if faultMid >= baseMid {
+		t.Fatalf("fault did not bite: faulted mid-run FPS %.2f >= baseline %.2f", faultMid, baseMid)
+	}
+	baseRec := meanFPSRange(base.PerSecondFPS, endSec+1, len(base.PerSecondFPS))
+	faultRec := meanFPSRange(faulted.PerSecondFPS, endSec+1, len(faulted.PerSecondFPS))
+	tol := math.Max(0.05*baseRec, 0.5)
+	if math.Abs(faultRec-baseRec) > tol {
+		t.Fatalf("no recovery: post-fault FPS %.2f vs unfaulted %.2f (tolerance %.2f)",
+			faultRec, baseRec, tol)
+	}
+}

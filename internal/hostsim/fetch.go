@@ -163,6 +163,18 @@ func (ct *ChunkedTransfer) chunkSize(i int) Bytes {
 // Chunks returns the transfer's chunk count.
 func (ct *ChunkedTransfer) Chunks() int { return ct.n }
 
+// Total returns the transfer's full byte length.
+func (ct *ChunkedTransfer) Total() Bytes { return ct.total }
+
+// Covers reports whether waiting on [0, upTo) can ever be satisfied by this
+// transfer. WaitRange silently clamps ranges past the tail to the whole
+// transfer, so a joiner whose accessed range outruns the transfer would
+// unblock with its suffix still missing; callers must check Covers before
+// joining and drive a fresh fetch otherwise (the svm join-path regression).
+func (ct *ChunkedTransfer) Covers(upTo Bytes) bool {
+	return upTo <= ct.total
+}
+
 // Landed returns how many chunks have fully arrived.
 func (ct *ChunkedTransfer) Landed() int { return ct.landed }
 
@@ -208,7 +220,7 @@ func (ct *ChunkedTransfer) drive(p *sim.Proc) {
 				if dma {
 					rate = l.Bandwidth
 				}
-				d := time.Duration(float64(size) / (rate * l.degrade) * float64(time.Second))
+				d := time.Duration(float64(size) / (rate * l.rateScale()) * float64(time.Second))
 				svcStart := p.Now()
 				service := l.lossyDMASleep(p, d, dma)
 				l.moved += size
@@ -286,15 +298,25 @@ func (ct *ChunkedTransfer) ChargeWait(key any, from, to time.Duration) {
 	cursor := from
 	for i := range ct.recs {
 		rec := &ct.recs[i]
-		if rec.end <= cursor {
+		if rec.end <= cursor || rec.end <= rec.svcStart {
 			continue
 		}
 		if rec.svcStart >= to {
 			break
 		}
 		if rec.svcStart > cursor {
-			pf.ChargeSpan(key, rec.l.lblChunkQ, cursor, rec.svcStart)
-			cursor = rec.svcStart
+			// Gap before this chunk's service: queueing/descriptor time. The
+			// gap's end is clamped to the interval bound so a service window
+			// straddling `to` (a batch-boundary semaphore release landing the
+			// chunk after the waiter unblocked) can never push a chunk-queue
+			// charge past the wall and double-count against the sync-copy /
+			// dma-chunk charge of a later waiter's partition.
+			gapEnd := rec.svcStart
+			if gapEnd > to {
+				gapEnd = to
+			}
+			pf.ChargeSpan(key, rec.l.lblChunkQ, cursor, gapEnd)
+			cursor = gapEnd
 		}
 		end := rec.end
 		if end > to {

@@ -1,7 +1,9 @@
 package hostsim
 
 import (
+	"fmt"
 	"math/rand"
+	"runtime"
 	"testing"
 	"time"
 
@@ -306,5 +308,149 @@ func TestChunkedOnCompleteRunsOnce(t *testing.T) {
 	env.Run()
 	if calls != 11 {
 		t.Fatalf("OnComplete calls = %d, want 11", calls)
+	}
+}
+
+func TestChunkedCoversTail(t *testing.T) {
+	env := sim.NewEnv(1)
+	defer env.Close()
+	m := HighEndDesktop(env)
+	var ct *ChunkedTransfer
+	env.Spawn("x", func(p *sim.Proc) {
+		ct = m.CopyChunkedStart(m.DRAM, m.VRAM, 2*MiB, EnabledFetch())
+		ct.WaitRange(p, 2*MiB)
+	})
+	env.Run()
+	if !ct.Covers(0) || !ct.Covers(MiB) || !ct.Covers(2*MiB) {
+		t.Fatal("Covers must accept ranges up to and including the tail")
+	}
+	if ct.Covers(2*MiB + 1) {
+		t.Fatal("Covers must reject ranges past the tail (WaitRange would clamp them)")
+	}
+}
+
+// TestChargeWaitNeverOvercharges is the satellite property test for the
+// batch-boundary double-charge: with competing link traffic, DMA loss
+// retries, and staggered waiters whose blocked intervals end mid-batch, every
+// waiter's per-component charges must sum to exactly its blocked wall
+// interval — never more (double-charge into both chunk-queue and a service
+// component) and never less (attribution hole).
+func TestChargeWaitNeverOvercharges(t *testing.T) {
+	env := sim.NewEnv(1)
+	defer env.Close()
+	pf := prof.New()
+	pf.SetNow(env.Now)
+	env.SetProfiler(pf)
+	m := HighEndDesktop(env)
+	l := m.LinkBetween(m.DRAM, m.VRAM)
+	l.SetDMALoss(0.3, rand.New(rand.NewSource(11)))
+	const size = 6 * MiB
+	cfg := EnabledFetch()
+	cfg.MaxInflight = 2 // more batch boundaries to straddle
+	ranges := []Bytes{512 * KiB, 2 * MiB, 4 * MiB, size}
+	var ct *ChunkedTransfer
+	var start time.Duration
+	env.Spawn("fetch", func(p *sim.Proc) {
+		start = p.Now()
+		ct = m.CopyChunkedStart(m.DRAM, m.VRAM, size, cfg)
+		for i, upTo := range ranges {
+			i, upTo := i, upTo
+			env.Spawn("w", func(wp *sim.Proc) {
+				wp.Sleep(time.Duration(i*30) * time.Microsecond)
+				key := fmt.Sprintf("waiter-%d", i)
+				pf.BeginClass(key, key)
+				from := wp.Now()
+				ct.WaitRange(wp, upTo)
+				ct.ChargeWait(key, from, wp.Now())
+				pf.EndClass(key)
+			})
+		}
+	})
+	env.Spawn("competing", func(p *sim.Proc) {
+		for i := 0; i < 20; i++ {
+			p.Sleep(40 * time.Microsecond)
+			l.Transfer(p, 128*KiB)
+		}
+	})
+	env.Run()
+	rep := pf.Report()
+	for i := range ranges {
+		key := fmt.Sprintf("waiter-%d", i)
+		cs := rep.Classes[key]
+		if cs == nil {
+			t.Fatalf("%s: no class stats", key)
+		}
+		var named time.Duration
+		for _, d := range cs.Comps {
+			named += d
+		}
+		if named > cs.Total {
+			t.Fatalf("%s: components %v exceed blocked interval %v (double-charge)", key, named, cs.Total)
+		}
+		if named != cs.Total {
+			t.Fatalf("%s: components %v != blocked interval %v (attribution hole)", key, named, cs.Total)
+		}
+	}
+	// Adversarial probes: re-partition [start, to] for instants strictly
+	// inside service windows and chunk gaps — the shapes a waiter interval
+	// takes when a batch-boundary semaphore release lands its chunk after the
+	// waiter already unblocked. Each probe must partition exactly.
+	var probes []time.Duration
+	for i := range ct.recs {
+		rec := &ct.recs[i]
+		probes = append(probes, rec.svcStart, (rec.svcStart+rec.end)/2, rec.end)
+		if i+1 < len(ct.recs) && ct.recs[i+1].svcStart > rec.end {
+			probes = append(probes, (rec.end+ct.recs[i+1].svcStart)/2)
+		}
+	}
+	for pi, to := range probes {
+		if to <= start {
+			continue
+		}
+		key := fmt.Sprintf("probe-%d", pi)
+		pf.BeginClass(key, key)
+		ct.ChargeWait(key, start, to)
+		pf.EndClass(key)
+		cs := pf.Report().Classes[key]
+		var named time.Duration
+		for _, d := range cs.Comps {
+			named += d
+		}
+		if named != to-start {
+			t.Fatalf("probe %d: charged %v over interval %v (from %v to %v)", pi, named, to-start, start, to)
+		}
+	}
+}
+
+// TestCloseReleasesInflightChunkFences is the satellite leak regression:
+// closing the environment while a chunked transfer is mid-flight aborts the
+// driver between fence alloc and signal, which used to pin the allocated
+// slots forever. The close hook must drain the table.
+func TestCloseReleasesInflightChunkFences(t *testing.T) {
+	before := runtime.NumGoroutine()
+	env := sim.NewEnv(1)
+	m := HighEndDesktop(env)
+	var ct *ChunkedTransfer
+	env.Spawn("fetch", func(p *sim.Proc) {
+		ct = m.CopyChunkedStart(m.DRAM, m.VRAM, 64*MiB, EnabledFetch())
+		ct.WaitRange(p, 64*MiB)
+	})
+	env.RunFor(500 * time.Microsecond)
+	if ct == nil || ct.Done() {
+		t.Fatal("transfer should still be in flight at 500us")
+	}
+	if m.dmaFences.InUse() == 0 {
+		t.Fatal("in-flight transfer should hold fence slots")
+	}
+	env.Close()
+	if got := m.dmaFences.InUse(); got != 0 {
+		t.Fatalf("fence slots leaked across Close: InUse = %d, want 0", got)
+	}
+	deadline := time.Now().Add(5 * time.Second)
+	for runtime.NumGoroutine() > before && time.Now().Before(deadline) {
+		time.Sleep(time.Millisecond)
+	}
+	if n := runtime.NumGoroutine(); n > before {
+		t.Fatalf("goroutines leaked across Close: %d > %d", n, before)
 	}
 }

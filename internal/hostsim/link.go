@@ -33,6 +33,14 @@ type Link struct {
 	// Bandwidth fields always keep the configured nominal values so
 	// callers can still reason about the healthy link.
 	degrade float64
+	// shared is a second multiplicative bandwidth scale in (0,1], driven by
+	// the cross-guest SharedHost arbiter (DESIGN.md §12): when several guest
+	// machines' PCIe links overdraw one physical host's budget, each gets a
+	// fair fraction for the next arbitration window. Kept separate from
+	// degrade so fault injection and farm contention compose instead of
+	// clobbering each other. At its default of 1 every rate computation is
+	// float-exact against builds without the arbiter.
+	shared float64
 	// dmaLoss is the per-attempt probability that a DMA transfer is lost
 	// and must be re-driven; lossRng decides, seeded by the fault layer.
 	dmaLoss float64
@@ -71,7 +79,7 @@ func NewLink(env *sim.Env, name string, bandwidth float64, latency time.Duration
 		panic("hostsim: link bandwidth must be positive")
 	}
 	l := &Link{Name: name, Bandwidth: bandwidth, SyncBandwidth: bandwidth,
-		Latency: latency, sem: sim.NewSemaphore(env, 1), degrade: 1}
+		Latency: latency, sem: sim.NewSemaphore(env, 1), degrade: 1, shared: 1}
 	if l.tr = env.Tracer(); l.tr != nil {
 		l.tk = l.tr.Track("link:" + name)
 	}
@@ -107,6 +115,26 @@ func (l *Link) SetDegradation(f float64) {
 
 // Degradation returns the current bandwidth scale factor (1 = nominal).
 func (l *Link) Degradation() float64 { return l.degrade }
+
+// SetSharedScale sets the cross-guest arbitration scale in (0,1]; 1 means
+// the link has its full budget share. Driven at shard-group barriers by the
+// SharedHost arbiter; composes multiplicatively with fault degradation.
+func (l *Link) SetSharedScale(f float64) {
+	if f <= 0 || f > 1 {
+		panic("hostsim: link shared scale must be in (0,1]")
+	}
+	l.shared = f
+	if l.tr != nil {
+		l.tr.Count(l.tk, "shared_scale", f)
+	}
+}
+
+// SharedScale returns the current cross-guest arbitration scale.
+func (l *Link) SharedScale() float64 { return l.shared }
+
+// rateScale is the effective bandwidth multiplier: fault degradation times
+// the cross-guest arbitration share.
+func (l *Link) rateScale() float64 { return l.degrade * l.shared }
 
 // SetDMALoss installs a per-transfer loss probability for DMA transfers;
 // lost transfers are re-driven (up to maxDMARetries times), so loss shows
@@ -170,12 +198,12 @@ func (l *Link) lossyDMASleep(p *sim.Proc, d time.Duration, lossy bool) time.Dura
 
 // TransferTime returns the uncontended duration to move size bytes by DMA.
 func (l *Link) TransferTime(size Bytes) time.Duration {
-	return l.Latency + time.Duration(float64(size)/(l.Bandwidth*l.degrade)*float64(time.Second))
+	return l.Latency + time.Duration(float64(size)/(l.Bandwidth*l.rateScale())*float64(time.Second))
 }
 
 // SyncTransferTime returns the uncontended duration of a synchronous copy.
 func (l *Link) SyncTransferTime(size Bytes) time.Duration {
-	return l.Latency + time.Duration(float64(size)/(l.SyncBandwidth*l.degrade)*float64(time.Second))
+	return l.Latency + time.Duration(float64(size)/(l.SyncBandwidth*l.rateScale())*float64(time.Second))
 }
 
 // Transfer moves size bytes across the link by DMA, blocking p for queueing

@@ -96,6 +96,14 @@ type Env struct {
 	timerFree  *timerRec // recycled cancellation records
 	waiterFree *waiter   // recycled park registrations
 
+	// executed counts events dispatched by Step, the simulator-throughput
+	// numerator the shardscale sweep reports as events/s.
+	executed uint64
+	// closeHooks run at the end of Close, after processes unwind and the
+	// queues are discarded — the point where external resources pinned by
+	// aborted processes (in-flight DMA completion fences) can be released.
+	closeHooks []func()
+
 	// Observability attachments, both optional (nil = disabled). They live
 	// on the Env so every subsystem constructed against it finds them
 	// without signature changes; the scheduler itself never touches them.
@@ -313,6 +321,7 @@ func (e *Env) Step() bool {
 		return false
 	}
 	e.now = ev.at
+	e.executed++
 	switch {
 	case ev.tmr != nil:
 		fn := ev.tmr.fn
@@ -351,6 +360,31 @@ func (e *Env) RunUntil(t Time) {
 // RunFor advances the simulation by d from the current instant.
 func (e *Env) RunFor(d Time) { e.RunUntil(e.now + d) }
 
+// runWindow executes events strictly before limit (at or before it when
+// inclusive is set, for the final window of a bounded run), then advances
+// the clock to exactly limit. It is RunUntil with an exclusive bound — the
+// per-shard inner loop of the conservative parallel scheduler, which must
+// not execute an event at the window horizon because a cross-shard message
+// could still be delivered there at the barrier.
+func (e *Env) runWindow(limit Time, inclusive bool) {
+	for !e.closed {
+		at, ok := e.nextAt()
+		if !ok || at > limit || (!inclusive && at >= limit) {
+			break
+		}
+		e.Step()
+	}
+	if e.now < limit {
+		e.now = limit
+	}
+}
+
+// ExecutedEvents returns how many events this environment has dispatched —
+// the throughput numerator for events/s comparisons. It is deterministic:
+// equal seeds execute equal event counts regardless of how the run is
+// windowed or sharded.
+func (e *Env) ExecutedEvents() uint64 { return e.executed }
+
 // Idle reports whether no live events remain.
 func (e *Env) Idle() bool { return e.PendingEvents() == 0 }
 
@@ -383,6 +417,28 @@ func (e *Env) Close() {
 	}
 	e.procs = map[*Proc]struct{}{}
 	e.discardEvents()
+	hooks := e.closeHooks
+	e.closeHooks = nil
+	for _, fn := range hooks {
+		fn()
+	}
+}
+
+// OnClose registers fn to run at the end of Close, after every process has
+// unwound and the event queues are discarded. Hooks run in registration
+// order, once; registering on a closed environment runs fn immediately.
+// Subsystems that pin external slots from process context (the DMA fence
+// table's alloc-before-signal chunk fences) use this to release them when
+// the simulation is torn down mid-flight.
+func (e *Env) OnClose(fn func()) {
+	if fn == nil {
+		panic("sim: OnClose with nil hook")
+	}
+	if e.closed {
+		fn()
+		return
+	}
+	e.closeHooks = append(e.closeHooks, fn)
 }
 
 func (e *Env) discardEvents() {

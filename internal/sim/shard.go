@@ -1,0 +1,280 @@
+package sim
+
+import (
+	"fmt"
+	"sort"
+)
+
+// This file implements the conservative parallel scheduler (DESIGN.md §12):
+// a ShardGroup partitions independent environments (one per guest instance)
+// into shards, each advancing through its own PR 1 event queue, synchronized
+// only at window barriers. The window horizon is derived from the group's
+// lookahead — the minimum cross-shard latency (link service floors, VM-exit
+// cost), below which no shard can affect another — so within a window the
+// shards are causally independent and can run on separate cores.
+//
+// Determinism contract: output is byte-identical at every shard count. The
+// window sequence depends only on the global earliest event time (not on the
+// partition), each environment's execution inside a window is purely local,
+// and cross-shard mail is delivered at barriers in a total order — by
+// (delivery time, sending environment index, send order) — before any
+// target event at the same instant is created, so sequence numbers land
+// identically however the envs were sharded.
+
+// mail is one cross-shard message: fn runs in the target environment's
+// scheduler context at time at.
+type mail struct {
+	at Time
+	to int
+	fn func()
+}
+
+// windowReq asks a worker to advance its shard's environments to limit
+// (inclusive of events at the horizon only for the final window of a
+// bounded run, mirroring RunUntil's closed bound).
+type windowReq struct {
+	limit Time
+	final bool
+}
+
+// ShardGroup runs a set of independent environments under the conservative
+// windowed protocol. Construct with NewShardGroup, drive with RunUntil, and
+// Close when done (Close stops the worker goroutines, not the
+// environments). The group itself must be driven from a single goroutine.
+type ShardGroup struct {
+	envs      []*Env
+	shards    [][]*Env
+	lookahead Time
+	now       Time
+
+	hooks []func(prev, now Time)
+
+	// outbox[i] is written only by the goroutine running envs[i]'s shard
+	// during a window; the coordinator drains every outbox at the barrier
+	// (after all workers parked, so no data race).
+	outbox [][]mail
+
+	start  []chan windowReq // one per extra worker (shards beyond the first)
+	done   chan struct{}
+	closed bool
+}
+
+// NewShardGroup partitions envs round-robin into at most shards shards.
+// lookahead must be positive: it is the conservative window size, and the
+// minimum cross-shard Send delay. One shard degenerates to a serial loop
+// with no worker goroutines; shard counts above len(envs) are clamped.
+func NewShardGroup(lookahead Time, shards int, envs ...*Env) *ShardGroup {
+	if lookahead <= 0 {
+		panic("sim: shard lookahead must be positive")
+	}
+	if shards < 1 {
+		panic("sim: shard count must be >= 1")
+	}
+	if len(envs) == 0 {
+		panic("sim: shard group needs at least one environment")
+	}
+	seen := make(map[*Env]struct{}, len(envs))
+	for _, e := range envs {
+		if e == nil {
+			panic("sim: nil environment in shard group")
+		}
+		if _, dup := seen[e]; dup {
+			panic("sim: duplicate environment in shard group")
+		}
+		seen[e] = struct{}{}
+	}
+	if shards > len(envs) {
+		shards = len(envs)
+	}
+	g := &ShardGroup{
+		envs:      envs,
+		shards:    make([][]*Env, shards),
+		lookahead: lookahead,
+		outbox:    make([][]mail, len(envs)),
+	}
+	for i, e := range envs {
+		s := i % shards
+		g.shards[s] = append(g.shards[s], e)
+	}
+	if shards > 1 {
+		g.done = make(chan struct{}, shards-1)
+		for s := 1; s < shards; s++ {
+			ch := make(chan windowReq)
+			g.start = append(g.start, ch)
+			go g.worker(g.shards[s], ch)
+		}
+	}
+	return g
+}
+
+// worker advances one shard's environments window by window. Each
+// environment runs sequentially within the shard; the parallelism is across
+// shards. The channel handshake gives the coordinator a happens-before edge
+// around every window, so barrier-time reads of env state are race-free.
+func (g *ShardGroup) worker(envs []*Env, start <-chan windowReq) {
+	for req := range start {
+		for _, e := range envs {
+			e.runWindow(req.limit, req.final)
+		}
+		g.done <- struct{}{}
+	}
+}
+
+// Shards returns the number of shards actually running (after clamping).
+func (g *ShardGroup) Shards() int { return len(g.shards) }
+
+// Lookahead returns the conservative window size.
+func (g *ShardGroup) Lookahead() Time { return g.lookahead }
+
+// Now returns the group's barrier clock: every environment has advanced to
+// at least this instant.
+func (g *ShardGroup) Now() Time { return g.now }
+
+// AtBarrier registers fn to run on the coordinating goroutine at every
+// window barrier, after all shards have parked and cross-shard mail has
+// been delivered. prev and now bound the window just executed. This is the
+// shared-host-resource synchronization point: PCIe budget arbitration, DMA
+// engine accounting, and the thermal envelope read per-env state here and
+// apply their decisions to the next window. Hooks run in registration
+// order.
+func (g *ShardGroup) AtBarrier(fn func(prev, now Time)) {
+	if fn == nil {
+		panic("sim: AtBarrier with nil hook")
+	}
+	g.hooks = append(g.hooks, fn)
+}
+
+// Send schedules fn to run in environment to's scheduler context delay from
+// environment from's current instant. It must be called from code executing
+// inside environment from (its shard's goroutine owns the outbox), and
+// delay must be at least the group's lookahead — a shorter delay could land
+// inside the window being executed, which the conservative protocol cannot
+// honor. Delivery order is deterministic regardless of sharding.
+func (g *ShardGroup) Send(from, to int, delay Time, fn func()) {
+	if fn == nil {
+		panic("sim: Send with nil callback")
+	}
+	if from < 0 || from >= len(g.envs) || to < 0 || to >= len(g.envs) {
+		panic(fmt.Sprintf("sim: Send %d -> %d out of range", from, to))
+	}
+	if delay < g.lookahead {
+		panic(fmt.Sprintf("sim: Send delay %v below lookahead %v", delay, g.lookahead))
+	}
+	g.outbox[from] = append(g.outbox[from], mail{at: g.envs[from].Now() + delay, to: to, fn: fn})
+}
+
+// nextEventAt returns the earliest pending event time across the group.
+func (g *ShardGroup) nextEventAt() (Time, bool) {
+	var min Time
+	have := false
+	for _, e := range g.envs {
+		if at, ok := e.nextAt(); ok && (!have || at < min) {
+			min, have = at, true
+		}
+	}
+	return min, have
+}
+
+// runShards executes one window on every shard: the first shard on the
+// coordinating goroutine, the rest on their workers.
+func (g *ShardGroup) runShards(limit Time, final bool) {
+	req := windowReq{limit: limit, final: final}
+	for _, ch := range g.start {
+		ch <- req
+	}
+	for _, e := range g.shards[0] {
+		e.runWindow(limit, final)
+	}
+	for range g.start {
+		<-g.done
+	}
+}
+
+// deliver drains every outbox into the target environments. Messages are
+// ordered by (delivery time, sending env index, send order) — the sort is
+// stable over a by-sender concatenation — so event sequence numbers in the
+// targets are independent of the partition. Delivery times are at or after
+// the barrier instant by the Send delay floor, so pushes never land in the
+// past.
+func (g *ShardGroup) deliver() {
+	var msgs []mail
+	for i := range g.outbox {
+		msgs = append(msgs, g.outbox[i]...)
+		g.outbox[i] = g.outbox[i][:0]
+	}
+	if len(msgs) == 0 {
+		return
+	}
+	sort.SliceStable(msgs, func(a, b int) bool { return msgs[a].at < msgs[b].at })
+	for _, m := range msgs {
+		g.envs[m.to].push(event{at: m.at, fn: m.fn})
+	}
+}
+
+// RunUntil drives every environment to exactly t under the windowed
+// protocol: repeatedly find the global earliest event time T, execute all
+// events in [T, T+lookahead) shard-parallel, then synchronize — deliver
+// cross-shard mail and run barrier hooks. The final window closes at t
+// inclusively, matching Env.RunUntil's bound.
+func (g *ShardGroup) RunUntil(t Time) {
+	if g.closed {
+		panic("sim: RunUntil on closed shard group")
+	}
+	for {
+		T, have := g.nextEventAt()
+		if !have || T > t {
+			// Nothing left inside the bound: advance every clock to t.
+			for _, e := range g.envs {
+				if e.now < t {
+					e.now = t
+				}
+			}
+			if g.now < t {
+				prev := g.now
+				g.now = t
+				for _, h := range g.hooks {
+					h(prev, t)
+				}
+			}
+			return
+		}
+		limit := T + g.lookahead
+		final := limit >= t
+		if final {
+			limit = t
+		}
+		g.runShards(limit, final)
+		g.deliver()
+		prev := g.now
+		g.now = limit
+		for _, h := range g.hooks {
+			h(prev, limit)
+		}
+		if final {
+			return
+		}
+	}
+}
+
+// ExecutedEvents sums the events dispatched across the group's
+// environments. Deterministic for equal seeds at any shard count.
+func (g *ShardGroup) ExecutedEvents() uint64 {
+	var total uint64
+	for _, e := range g.envs {
+		total += e.executed
+	}
+	return total
+}
+
+// Close stops the worker goroutines. The environments themselves are not
+// closed — callers own their lifecycle. Idempotent.
+func (g *ShardGroup) Close() {
+	if g.closed {
+		return
+	}
+	g.closed = true
+	for _, ch := range g.start {
+		close(ch)
+	}
+	g.start = nil
+}

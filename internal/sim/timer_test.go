@@ -132,7 +132,30 @@ func TestCloseFreesGoroutines(t *testing.T) {
 		env.Spawn("timed", func(p *Proc) { ev.WaitTimeout(p, time.Hour) })
 	}
 	env.RunFor(time.Millisecond) // park everyone
+	// Close hooks run after the processes unwind and the queues are
+	// discarded — the window where subsystems release externally pinned
+	// resources (e.g. in-flight DMA chunk fences).
+	var hooks []int
+	env.OnClose(func() {
+		if env.PendingEvents() != 0 {
+			t.Error("OnClose hook ran before events were discarded")
+		}
+		hooks = append(hooks, 1)
+	})
+	env.OnClose(func() { hooks = append(hooks, 2) })
 	env.Close()
+	if len(hooks) != 2 || hooks[0] != 1 || hooks[1] != 2 {
+		t.Fatalf("OnClose hooks ran as %v, want [1 2]", hooks)
+	}
+	env.Close() // idempotent: hooks must not run twice
+	if len(hooks) != 2 {
+		t.Fatalf("OnClose hooks re-ran on second Close: %v", hooks)
+	}
+	ran := false
+	env.OnClose(func() { ran = true }) // on a closed env, runs immediately
+	if !ran {
+		t.Fatal("OnClose on a closed env did not run the hook")
+	}
 	// Aborted goroutines finish asynchronously after their final rendezvous.
 	deadline := time.Now().Add(5 * time.Second)
 	for {

@@ -45,8 +45,13 @@ func (m *Manager) chunkedDemandFetch(p *sim.Proc, r *Region, acc Accessor, bytes
 			return
 		}
 		cf := r.chunked[acc.Domain]
-		if cf == nil || cf.version != r.version {
-			cf = m.startChunkedFetch(p, r, acc.Domain, direct)
+		if cf == nil || cf.version != r.version || !cf.ct.Covers(bytes) {
+			// No transfer, a stale one, or one too short: a reader must not
+			// join a transfer whose tail stops before its accessed range —
+			// WaitRange clamps to the transfer's end, so the joiner would
+			// unblock with its suffix chunks never driven (silently missing
+			// data). Drive a fresh full-region fetch instead.
+			cf = m.startChunkedFetch(p, r, acc.Domain, direct, bytes)
 		} else {
 			m.stats.FetchJoins++
 		}
@@ -63,8 +68,10 @@ func (m *Manager) chunkedDemandFetch(p *sim.Proc, r *Region, acc Accessor, bytes
 }
 
 // startChunkedFetch pays the coherence fixed cost and starts the chunked
-// transfer, registering it on the region so later readers join it.
-func (m *Manager) startChunkedFetch(p *sim.Proc, r *Region, dom *hostsim.Domain, direct bool) *chunkedFetch {
+// transfer, registering it on the region so later readers join it. bytes is
+// the caller's accessed range: a racing transfer is only joined when it
+// covers that range.
+func (m *Manager) startChunkedFetch(p *sim.Proc, r *Region, dom *hostsim.Domain, direct bool, bytes hostsim.Bytes) *chunkedFetch {
 	start := p.Now()
 	if m.cfg.CoherenceFixedCost > 0 {
 		p.Sleep(m.cfg.CoherenceFixedCost)
@@ -73,8 +80,9 @@ func (m *Manager) startChunkedFetch(p *sim.Proc, r *Region, dom *hostsim.Domain,
 		}
 	}
 	// A racing reader may have started the fetch while we slept through the
-	// fixed cost; join it rather than double-driving the transfer.
-	if cf := r.chunked[dom]; cf != nil && cf.version == r.version {
+	// fixed cost; join it rather than double-driving the transfer — but only
+	// if it covers our accessed range (see chunkedDemandFetch).
+	if cf := r.chunked[dom]; cf != nil && cf.version == r.version && cf.ct.Covers(bytes) {
 		m.stats.FetchJoins++
 		return cf
 	}

@@ -94,6 +94,62 @@ func TestChunkedFetchSecondReaderJoins(t *testing.T) {
 	}
 }
 
+// TestChunkedFetchOverlappingReaderPastTail is the regression for the
+// short-join bug: a second reader joining an in-flight transfer whose range
+// extends past the transfer's tail must not park on chunks that will never
+// be driven. WaitRange clamps past-the-end ranges to the transfer, so a bad
+// join "completes" with the suffix silently missing; the join path now
+// checks coverage and drives a fresh full fetch instead.
+func TestChunkedFetchOverlappingReaderPastTail(t *testing.T) {
+	rg := newRigCfg(t, fetchCfg())
+	r, _ := rg.m.Alloc(16 * hostsim.MiB)
+	var prefixDone, fullDone time.Duration
+	rg.env.Spawn("w", func(p *sim.Proc) {
+		rg.write(t, p, r.ID, rg.codec)
+		// An in-flight transfer covering only the first half of the region
+		// (as if a prefix reader had driven a short fetch).
+		short := &chunkedFetch{
+			ct:      rg.mach.CopyChunkedStart(rg.mach.DRAM, rg.mach.VRAM, r.Size/2, rg.m.cfg.Fetch),
+			version: r.version,
+		}
+		r.chunked = map[*hostsim.Domain]*chunkedFetch{rg.gpu.Domain: short}
+		// Staggered overlapping readers: A's range fits inside the short
+		// transfer and joins it; B's extends past its tail and must not.
+		rg.env.Spawn("ra", func(rp *sim.Proc) {
+			a, err := rg.m.BeginAccess(rp, r.ID, rg.gpu, UsageRead, hostsim.MiB)
+			if err != nil {
+				t.Errorf("prefix read: %v", err)
+				return
+			}
+			prefixDone = rp.Now()
+			a.End(rp)
+		})
+		rg.env.Spawn("rb", func(rp *sim.Proc) {
+			rp.Sleep(200 * time.Microsecond) // join mid-flight
+			rg.read(t, rp, r.ID, rg.gpu)     // full-region read
+			fullDone = rp.Now()
+		})
+	})
+	rg.env.Run()
+	st := rg.m.Stats()
+	if st.FetchJoins != 1 {
+		t.Fatalf("FetchJoins = %d, want 1 (only the covered prefix reader joins)", st.FetchJoins)
+	}
+	if st.ChunkedFetches != 1 {
+		t.Fatalf("ChunkedFetches = %d, want 1 (uncovered reader drives a fresh fetch)", st.ChunkedFetches)
+	}
+	// The fresh full-region fetch is the only one that installs the copy:
+	// if the full reader had joined the short transfer, the region would
+	// never become current at the GPU and the read would have returned with
+	// half the bytes missing.
+	if !r.HasCurrentCopy(rg.gpu.Domain) {
+		t.Fatal("gpu domain not current: full-range reader returned without its suffix")
+	}
+	if fullDone <= prefixDone {
+		t.Fatalf("full reader finished at %v, not after the prefix reader at %v", fullDone, prefixDone)
+	}
+}
+
 func TestChunkedFetchUnblocksOnAccessedRange(t *testing.T) {
 	// A reader touching only the head of a large region unblocks when the
 	// covering chunks land, while a full-range reader of the same region
