@@ -43,37 +43,44 @@ chaos-smoke:
 	$(GO) run ./cmd/vsocbench -exp robustness -duration 12s
 
 # Observability gate: a traced robustness run must emit per-cell Perfetto
-# JSON that tracecheck accepts (valid JSON, required trace-event keys).
+# JSON that tracecheck accepts (valid JSON, required trace-event keys), and
+# a fleet-instrumented shardscale run must emit per-shard-count fleet
+# counter traces whose track names tracecheck recognizes (§13).
 trace-smoke:
 	$(GO) run ./cmd/vsocbench -exp robustness -duration 12s -trace /tmp/vsoc-trace.json -metrics > /dev/null
-	$(GO) run ./cmd/tracecheck /tmp/vsoc-trace-*.json
+	$(GO) run ./cmd/vsocbench -exp shardscale -duration 4s -shards 2 -fleet -trace /tmp/vsoc-shardscale.json > /dev/null
+	$(GO) run ./cmd/tracecheck /tmp/vsoc-trace-*.json /tmp/vsoc-shardscale-fleet-shards*.json
 
 # Benchmark trajectory: the profiled micro run (Fig. 16 + critical-path
 # attribution, DESIGN.md §10) with chunked demand fetches on (§11), plus the
-# sharded-farm sweep (§12) at four shards, written as one machine-readable
-# bench report plus the micro run's folded-stack flamegraph. CI uploads both
-# as artifacts.
+# sharded-farm sweep (§12) at four shards with fleet telemetry attached
+# (§13) — shard-utilization, QoS attainment, and tail-latency metrics join
+# the trajectory — written as one machine-readable bench report plus the
+# micro run's folded-stack flamegraph. CI uploads both as artifacts.
 bench:
-	$(GO) run ./cmd/vsocbench -exp micro,shardscale -duration 8s -apps 2 -fetch -shards 4 -json BENCH_PR7.json -profile BENCH_PR7.folded > /dev/null
+	$(GO) run ./cmd/vsocbench -exp micro,shardscale -duration 8s -apps 2 -fetch -shards 4 -fleet -json BENCH_PR8.json -profile BENCH_PR8.folded > /dev/null
 
-# The shardscale events/s and speedup metrics measure the build host's
-# wall clock, not the simulation; gate them at a wide 90% threshold so
-# machine noise never fails a perf gate while order-of-magnitude collapses
-# still do. Everything else in the trajectory is deterministic.
+# The shardscale events/s, speedup, and fleet barrier-stall metrics measure
+# the build host's wall clock, not the simulation; gate them at a wide 90%
+# threshold so machine noise never fails a perf gate while
+# order-of-magnitude collapses still do. Everything else in the trajectory
+# is deterministic.
 PERF_NOISY = -metric shardscale.events_per_sec_serial=0.9 \
 	-metric shardscale.events_per_sec_shards4=0.9 \
-	-metric shardscale.speedup_x=0.9
+	-metric shardscale.speedup_x=0.9 \
+	-metric fleet.barrier_stall_frac=0.9
 
 # Perf gate: vsocperf must parse the fresh bench report and find zero
 # regressions diffing it against itself (exit 1 on any).
 perf-smoke: bench
-	$(GO) run ./cmd/vsocperf BENCH_PR7.json BENCH_PR7.json
+	$(GO) run ./cmd/vsocperf BENCH_PR8.json BENCH_PR8.json
 
-# Cross-PR perf gate: the fresh sharded-farm run must not regress against
-# the committed PR6 baseline (vsocperf exits 1 on any regression); the
-# micro metrics must hold exactly — the serial path is untouched — and the
-# shardscale metrics appear as trajectory growth.
+# Cross-PR perf gate: the fresh fleet-instrumented run must not regress
+# against the committed PR7 baseline (vsocperf exits 1 on any regression);
+# the micro and deterministic shardscale metrics must hold exactly — the
+# fleet layer is observe-only — and the fleet.* metrics appear as
+# trajectory growth.
 perf-gate: bench
-	$(GO) run ./cmd/vsocperf $(PERF_NOISY) BENCH_PR6.json BENCH_PR7.json
+	$(GO) run ./cmd/vsocperf $(PERF_NOISY) BENCH_PR7.json BENCH_PR8.json
 
 verify: check race bench-smoke chaos-smoke trace-smoke perf-smoke perf-gate

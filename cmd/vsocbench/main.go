@@ -9,7 +9,7 @@
 //	vsocbench [-exp <name>[,<name>...]] [-duration 30s] [-apps 10]
 //	          [-popular 25] [-seed 1] [-workers 0] [-trace out.json]
 //	          [-metrics] [-profile out.folded] [-json bench.json] [-fetch]
-//	          [-shards N]
+//	          [-shards N] [-fleet]
 //
 // Run with -h for the experiment list; names, aliases, ordering, and the
 // per-experiment -trace behavior all come from the shared experiments
@@ -29,6 +29,13 @@
 // `-exp all` runs every registered experiment except the batching sweep and
 // the profiled micro run, so its output stays comparable across builds; run
 // `-exp batching` / `-exp micro` explicitly.
+//
+// -fleet enables the fleet/scheduler observability layer (DESIGN.md §13)
+// for the shardscale farm: per-tenant QoS/SLO tracking, the deterministic
+// fleet report (byte-identical at every shard count), and the wall-clock
+// barrier-stall attribution table. Observe-only: simulation results are
+// byte-identical with it on or off. With -trace it also writes one
+// fleet-counter trace per shard count.
 //
 // -profile writes the critical-path profiler's folded-stack flamegraph
 // export for the experiments that support it (micro); feed it to any
@@ -60,6 +67,7 @@ func main() {
 	jsonPath := flag.String("json", "", "write the machine-readable bench report (for cmd/vsocperf) to this path")
 	fetch := flag.Bool("fetch", false, "enable chunked, DMA-promoted demand fetches (DESIGN.md §11) for supporting experiments (micro, fig16)")
 	shards := flag.Int("shards", 0, "shard count for the shardscale farm (DESIGN.md §12): 0 sweeps 1,2,4,8; N>1 runs 1 and N")
+	fleet := flag.Bool("fleet", false, "enable fleet/scheduler telemetry (DESIGN.md §13) for the shardscale farm: QoS/SLO report and barrier-stall attribution")
 	flag.Usage = func() {
 		out := flag.CommandLine.Output()
 		fmt.Fprintf(out, "Usage of %s:\n", os.Args[0])
@@ -80,6 +88,7 @@ func main() {
 		ProfilePath:     *profilePath,
 		Fetch:           *fetch,
 		Shards:          *shards,
+		Fleet:           *fleet,
 	}
 
 	// Runners by canonical experiment name (see the registry for aliases).

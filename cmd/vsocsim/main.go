@@ -7,7 +7,7 @@
 //	vsocsim [-emulator vsoc|gae|qemu|ldplayer|bluestacks|trinity|vsoc-noprefetch|vsoc-nofence]
 //	        [-machine highend|midend|pixel]
 //	        [-app uhd|360|camera|ar|livestream|heavy3d|ui|social]
-//	        [-duration 30s] [-seed 1] [-v] [-shards N]
+//	        [-duration 30s] [-seed 1] [-v] [-shards N] [-fleet]
 //
 // With -shards N the command switches to farm mode: N guest instances of
 // the app run on one physical host under the conservative parallel
@@ -15,6 +15,11 @@
 // arbiter coupling their PCIe links at window barriers. Per-guest results
 // are deterministic — identical at every N — while the trailing events/s
 // line measures the host's parallel throughput.
+//
+// -fleet (farm mode only) attaches the fleet/scheduler observability layer
+// (DESIGN.md §13): it appends the per-tenant QoS/SLO fleet report and the
+// wall-clock barrier-stall attribution table. Observe-only — per-guest
+// results are byte-identical with it on or off.
 package main
 
 import (
@@ -26,7 +31,9 @@ import (
 
 	"repro/internal/emulator"
 	"repro/internal/experiments"
+	"repro/internal/fleetobs"
 	"repro/internal/hostsim"
+	"repro/internal/obs"
 	"repro/internal/sim"
 	"repro/internal/workload"
 )
@@ -58,6 +65,7 @@ func main() {
 	verbose := flag.Bool("v", false, "print SVM internals")
 	fetch := flag.Bool("fetch", false, "enable chunked, DMA-promoted demand fetches (DESIGN.md §11)")
 	shards := flag.Int("shards", 0, "farm mode: run N guest instances under the sharded scheduler (DESIGN.md §12); 0 = single instance")
+	fleet := flag.Bool("fleet", false, "farm mode: append the fleet QoS/SLO report and barrier-stall attribution (DESIGN.md §13)")
 	flag.Parse()
 
 	presetFn, ok := presetsByName[strings.ToLower(*emuName)]
@@ -74,7 +82,7 @@ func main() {
 		preset.Fetch = hostsim.EnabledFetch()
 	}
 	if *shards > 0 {
-		runFarm(preset, machine, strings.ToLower(*appName), *duration, *seed, *shards)
+		runFarm(preset, machine, strings.ToLower(*appName), *duration, *seed, *shards, *fleet)
 		return
 	}
 	sess := workload.NewSession(preset, machine.New, *seed)
@@ -155,13 +163,38 @@ var farmCategories = map[string]int{
 	"livestream": emulator.CatLivestream,
 }
 
+// farmSLO mirrors the shardscale farm's QoS contracts: the interactive
+// categories carry the paper's tight motion-to-photon bounds, streaming
+// ones a looser budget, pure playback none.
+func farmSLO(cat int) time.Duration {
+	switch cat {
+	case emulator.CatCamera, emulator.CatAR:
+		return 100 * time.Millisecond
+	case emulator.CatLivestream:
+		return 250 * time.Millisecond
+	}
+	return 0
+}
+
 // runFarm runs n guest instances of the app as a sharded farm: one
 // environment and one shard per guest, coupled through the shared-host
 // arbiter at window barriers.
-func runFarm(preset emulator.Preset, machine experiments.MachineSpec, app string, dur time.Duration, seed int64, n int) {
+func runFarm(preset emulator.Preset, machine experiments.MachineSpec, app string, dur time.Duration, seed int64, n int, fleet bool) {
 	cat, ok := farmCategories[app]
 	if !ok {
 		die("-shards farm mode supports the emerging apps only (uhd, 360, camera, ar, livestream)")
+	}
+	var fl *fleetobs.Fleet
+	if fleet {
+		fcfg := fleetobs.Config{Registry: obs.NewRegistry()}
+		for g := 0; g < n; g++ {
+			fcfg.Tenants = append(fcfg.Tenants, fleetobs.TenantConfig{
+				Name:     fmt.Sprintf("g%d:%s", g, app),
+				FPSFloor: 30,
+				M2PSLO:   farmSLO(cat),
+			})
+		}
+		fl = fleetobs.New(fcfg)
 	}
 	envs := make([]*sim.Env, 0, n)
 	machs := make([]*hostsim.Machine, 0, n)
@@ -172,6 +205,11 @@ func runFarm(preset emulator.Preset, machine experiments.MachineSpec, app string
 		defer sess.Close()
 		envs = append(envs, sess.Env)
 		machs = append(machs, sess.Machine)
+		if fl != nil {
+			tn := fl.Tenant(g)
+			sess.Emulator.FrameObs = tn
+			sess.Emulator.Manager.SetFetchObserver(tn.DemandFetch)
+		}
 		pd, err := workload.StartEmerging(sess.Emulator, workload.DefaultSpec(cat, g, dur))
 		if err != nil {
 			die("guest %d: %v", g, err)
@@ -185,6 +223,9 @@ func runFarm(preset emulator.Preset, machine experiments.MachineSpec, app string
 	grp := sim.NewShardGroup(sh.Lookahead(), n, envs...)
 	defer grp.Close()
 	sh.Attach(grp)
+	if fl != nil {
+		fl.Attach(grp, sh)
+	}
 	wallStart := time.Now()
 	grp.RunUntil(stop)
 	wall := time.Since(wallStart)
@@ -199,6 +240,13 @@ func runFarm(preset emulator.Preset, machine experiments.MachineSpec, app string
 	fmt.Printf("farm: %d guests on %d shards, lookahead %v, %d events in %.2fs wall (%.0f events/s)\n",
 		n, grp.Shards(), grp.Lookahead(), events, wall.Seconds(),
 		float64(events)/wall.Seconds())
+	if fl != nil {
+		fl.Finalize(stop)
+		fmt.Println()
+		fmt.Print(fl.Report(stop).FormatText())
+		fmt.Println()
+		fmt.Print(fl.StallReport().FormatText())
+	}
 }
 
 func die(format string, args ...any) {

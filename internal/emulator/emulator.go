@@ -126,6 +126,24 @@ type Emulator struct {
 	Camera  *device.Device
 	Modem   *device.Device
 	NIC     *device.Device
+
+	// FrameObs, when non-nil, receives per-frame presentation telemetry
+	// from the workload sink (presents, drops, motion-to-photon). The
+	// fleet QoS layer (internal/fleetobs) implements it; the nil path is
+	// one branch per frame, and observers must not perturb the simulation.
+	FrameObs FrameObserver
+}
+
+// FrameObserver is the per-guest frame telemetry hook. All instants are
+// virtual time; callbacks run inside the guest's own environment, so a
+// per-guest observer needs no locking.
+type FrameObserver interface {
+	// FramePresented reports a frame reaching the display at instant at.
+	FramePresented(at time.Duration)
+	// FrameDropped reports a frame discarded stale or past deadline.
+	FrameDropped(at time.Duration)
+	// MotionToPhoton reports a measured source-to-display latency.
+	MotionToPhoton(at, latency time.Duration)
 }
 
 // VSyncPeriod is the guest display refresh period (60 Hz).

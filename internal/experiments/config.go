@@ -62,6 +62,13 @@ type Config struct {
 	// are identical at every setting — sharding only trades wall-clock time
 	// for cores.
 	Shards int
+	// Fleet enables the fleet/scheduler observability layer (DESIGN.md
+	// §13) for the shardscale farm: per-tenant QoS/SLO tracking, the
+	// deterministic fleet report, and the wall-clock barrier-stall
+	// attribution table. Observe-only — simulation results are
+	// byte-identical with it on or off; off by default so the report stays
+	// comparable with pre-fleetobs builds.
+	Fleet bool
 }
 
 // Quick returns a configuration suitable for tests and benchmarks.

@@ -74,7 +74,8 @@ func Registry() []Entry {
 		{Name: "fetchpipe",
 			Summary: "chunked demand-fetch sweep: access latency and sync-copy share across chunk sizes (DESIGN.md §11); excluded from -exp all"},
 		{Name: "shardscale", Bench: true,
-			Summary: "multi-guest farm under the conservative parallel scheduler: determinism check and events/s scaling across shard counts (DESIGN.md §12); excluded from -exp all"},
+			Summary: "multi-guest farm under the conservative parallel scheduler: determinism check and events/s scaling across shard counts (DESIGN.md §12); -fleet adds the QoS/SLO fleet report and barrier-stall attribution (§13); excluded from -exp all",
+			Trace:   "with -fleet, writes one fleet-counter trace per shard count next to the given path"},
 	}
 }
 

@@ -6,7 +6,9 @@ import (
 	"time"
 
 	"repro/internal/emulator"
+	"repro/internal/fleetobs"
 	"repro/internal/hostsim"
+	"repro/internal/obs"
 	"repro/internal/sim"
 	"repro/internal/workload"
 )
@@ -42,6 +44,28 @@ var shardFarmCategories = [shardFarmGuests]int{
 // lone guest never notices.
 const shardFarmPCIeBudget = 6e9
 
+// shardFarmFPSFloor is every farm tenant's QoS floor: half the 60 Hz
+// content rate, the point below which streaming is visibly broken.
+const shardFarmFPSFloor = 30
+
+// shardFarmTenant maps guest g running category cat onto its fleet QoS
+// contract. Motion-to-photon SLOs apply only to the categories whose sink
+// measures latency (camera- and network-fed pipelines); the video
+// categories are floor-only.
+func shardFarmTenant(g, cat int) fleetobs.TenantConfig {
+	tc := fleetobs.TenantConfig{
+		Name:     fmt.Sprintf("g%d:%s", g, emulator.CategoryNames[cat]),
+		FPSFloor: shardFarmFPSFloor,
+	}
+	switch cat {
+	case emulator.CatCamera, emulator.CatAR:
+		tc.M2PSLO = 100 * time.Millisecond
+	case emulator.CatLivestream:
+		tc.M2PSLO = 250 * time.Millisecond
+	}
+	return tc
+}
+
 // ShardScaleRow is one shard-count setting of the sweep.
 type ShardScaleRow struct {
 	// Shards is the requested shard count (clamped to the guest count by
@@ -60,6 +84,16 @@ type ShardScaleRow struct {
 	WallMS       float64
 	EventsPerSec float64
 	SpeedupX     float64
+
+	// Fleet telemetry, populated when Config.Fleet is set (DESIGN.md §13).
+	// Fleet is the deterministic fleet report — byte-identical at every
+	// shard count; Stall is the wall-clock barrier-stall attribution,
+	// excluded from the determinism contract like the wall columns.
+	Fleet *fleetobs.Report
+	Stall *fleetobs.StallReport
+	// FleetTrace is the Perfetto trace file written for this row, when
+	// Config.Fleet and Config.TracePath are both set.
+	FleetTrace string
 }
 
 // ShardScaleResult is the `-exp shardscale` report.
@@ -111,6 +145,23 @@ func runShardFarm(cfg Config, shards int, lookahead *time.Duration) ShardScaleRo
 	envs := make([]*sim.Env, 0, shardFarmGuests)
 	machs := make([]*hostsim.Machine, 0, shardFarmGuests)
 	pend := make([]*workload.Pending, 0, shardFarmGuests)
+
+	// Fleet observability (cfg.Fleet): per-guest tenants wired into the
+	// emulator frame hook and the svm fetch hook, plus the scheduler and
+	// shared-host observers. Observe-only — results are byte-identical
+	// with the layer on or off.
+	var fl *fleetobs.Fleet
+	if cfg.Fleet {
+		fcfg := fleetobs.Config{Registry: obs.NewRegistry()}
+		if cfg.TracePath != "" {
+			fcfg.Tracer = obs.NewTracer()
+		}
+		for g := 0; g < shardFarmGuests; g++ {
+			fcfg.Tenants = append(fcfg.Tenants, shardFarmTenant(g, shardFarmCategories[g]))
+		}
+		fl = fleetobs.New(fcfg)
+	}
+
 	var stop time.Duration
 	for g := 0; g < shardFarmGuests; g++ {
 		cat := shardFarmCategories[g]
@@ -118,6 +169,11 @@ func runShardFarm(cfg Config, shards int, lookahead *time.Duration) ShardScaleRo
 		sessions = append(sessions, sess)
 		envs = append(envs, sess.Env)
 		machs = append(machs, sess.Machine)
+		if fl != nil {
+			tn := fl.Tenant(g)
+			sess.Emulator.FrameObs = tn
+			sess.Emulator.Manager.SetFetchObserver(tn.DemandFetch)
+		}
 		pd, err := workload.StartEmerging(sess.Emulator, workload.DefaultSpec(cat, g, cfg.Duration))
 		if err != nil {
 			// vSoC runs every category; a failure here is a programming
@@ -135,10 +191,28 @@ func runShardFarm(cfg Config, shards int, lookahead *time.Duration) ShardScaleRo
 	defer grp.Close()
 	sh.Attach(grp)
 	grp.AtBarrier(func(prev, now time.Duration) { row.Windows++ })
+	if fl != nil {
+		fl.Attach(grp, sh)
+	}
 
 	wallStart := time.Now()
 	grp.RunUntil(stop)
 	wall := time.Since(wallStart)
+
+	if fl != nil {
+		fl.Finalize(stop)
+		row.Fleet = fl.Report(stop)
+		row.Stall = fl.StallReport()
+		if cfg.TracePath != "" {
+			path := fmt.Sprintf("%s-fleet-shards%d.json",
+				strings.TrimSuffix(cfg.TracePath, ".json"), shards)
+			if err := writeTraceFile(path, fl.Tracer()); err != nil {
+				row.FleetTrace = "error: " + err.Error()
+			} else {
+				row.FleetTrace = path
+			}
+		}
+	}
 
 	for _, pd := range pend {
 		r, err := pd.Wait()
@@ -162,20 +236,45 @@ func runShardFarm(cfg Config, shards int, lookahead *time.Duration) ShardScaleRo
 // host-dependent throughput measurement.
 func FormatShardScale(r *ShardScaleResult) string {
 	var b strings.Builder
+	fleetOn := len(r.Rows) > 0 && r.Rows[0].Fleet != nil
 	fmt.Fprintf(&b, "Shard-scaling sweep (%d-guest farm, lookahead %v, DESIGN.md §12):\n",
 		r.Guests, r.Lookahead)
-	b.WriteString("  shards   mean FPS   per-guest FPS            frames    events     windows   wall ms    events/s   speedup\n")
+	b.WriteString("  shards   mean FPS   per-guest FPS            frames    events     windows   wall ms    events/s   speedup")
+	if fleetOn {
+		b.WriteString("   floor%    slo%   m2p_p99   fetch_p99   strag")
+	}
+	b.WriteString("\n")
 	for _, row := range r.Rows {
 		guests := make([]string, len(row.GuestFPS))
 		for i, f := range row.GuestFPS {
 			guests[i] = fmt.Sprintf("%.1f", f)
 		}
-		fmt.Fprintf(&b, "  %6d   %8.2f   %-22s   %6d   %8d   %7d   %7.1f   %9.0f   %6.2fx\n",
+		fmt.Fprintf(&b, "  %6d   %8.2f   %-22s   %6d   %8d   %7d   %7.1f   %9.0f   %6.2fx",
 			row.Shards, row.MeanFPS, strings.Join(guests, " "),
 			row.Frames, row.Events, row.Windows, row.WallMS,
 			row.EventsPerSec, row.SpeedupX)
+		if f := row.Fleet; f != nil {
+			fmt.Fprintf(&b, "   %6.1f   %5.1f   %5.2fms   %7.2fms   %5d",
+				f.Fleet.FloorAttainment*100, f.Fleet.SLOAttainment*100,
+				f.Fleet.M2PP99MS, f.Fleet.FetchP99MS, len(f.Fleet.Stragglers))
+		}
+		b.WriteString("\n")
 	}
 	b.WriteString("  (simulation columns are byte-identical across shard counts; wall columns are host-dependent)\n")
+	if fleetOn {
+		b.WriteString("\n")
+		b.WriteString(r.Rows[0].Fleet.FormatText())
+		for _, row := range r.Rows {
+			if row.Stall != nil {
+				fmt.Fprintf(&b, "\n[shards=%d] %s", row.Shards, row.Stall.FormatText())
+			}
+		}
+		for _, row := range r.Rows {
+			if row.FleetTrace != "" {
+				fmt.Fprintf(&b, "trace shards=%d %s\n", row.Shards, row.FleetTrace)
+			}
+		}
+	}
 	return b.String()
 }
 
@@ -201,5 +300,37 @@ func ShardScaleBenchMetrics(r *ShardScaleResult) []BenchMetric {
 				Value: widest.EventsPerSec, Unit: "events/s", Better: "higher"},
 			BenchMetric{Name: "shardscale.speedup_x", Value: widest.SpeedupX, Unit: "x", Better: "higher"})
 	}
+	// Fleet metrics (DESIGN.md §13): the QoS/tail aggregate is
+	// deterministic; barrier_stall_frac measures the build host's wall
+	// clock like events/s and needs the same wide gate threshold.
+	if f := serial.Fleet; f != nil {
+		ms = append(ms,
+			BenchMetric{Name: "fleet.floor_attainment", Value: f.Fleet.FloorAttainment, Unit: "frac", Better: "higher"},
+			BenchMetric{Name: "fleet.slo_attainment", Value: f.Fleet.SLOAttainment, Unit: "frac", Better: "higher"},
+			BenchMetric{Name: "fleet.m2p_p99_ms", Value: f.Fleet.M2PP99MS, Unit: "ms", Better: "lower"},
+			BenchMetric{Name: "fleet.fetch_p99_ms", Value: f.Fleet.FetchP99MS, Unit: "ms", Better: "lower"},
+			BenchMetric{Name: "fleet.lookahead_util", Value: f.Sched.LookaheadUtil, Unit: "frac", Better: "higher"},
+			BenchMetric{Name: "fleet.stragglers", Value: float64(len(f.Fleet.Stragglers)), Unit: "tenants", Better: "lower"},
+		)
+	}
+	if widest.Shards > 1 && widest.Stall != nil {
+		if frac := barrierStallFrac(widest.Stall); frac >= 0 {
+			ms = append(ms, BenchMetric{Name: "fleet.barrier_stall_frac", Value: frac, Unit: "frac", Better: "lower"})
+		}
+	}
 	return ms
+}
+
+// barrierStallFrac is the fraction of the run's shard-window wall time
+// spent parked at barriers, summed across shards: a wall-clock diagnosis
+// of why -shards N does not reach Nx. Negative when unmeasurable.
+func barrierStallFrac(s *fleetobs.StallReport) float64 {
+	if len(s.Shards) == 0 || s.WallExec <= 0 {
+		return -1
+	}
+	var barrier time.Duration
+	for _, sh := range s.Shards {
+		barrier += sh.Barrier
+	}
+	return float64(barrier) / (float64(s.WallExec) * float64(len(s.Shards)))
 }

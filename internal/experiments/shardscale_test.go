@@ -1,6 +1,7 @@
 package experiments
 
 import (
+	"bytes"
 	"math"
 	"reflect"
 	"testing"
@@ -8,7 +9,9 @@ import (
 
 	"repro/internal/emulator"
 	"repro/internal/faults"
+	"repro/internal/fleetobs"
 	"repro/internal/hostsim"
+	"repro/internal/obs"
 	"repro/internal/sim"
 	"repro/internal/workload"
 )
@@ -62,6 +65,73 @@ func TestShardScaleDeterministicAcrossCounts(t *testing.T) {
 	}
 }
 
+// TestShardScaleFleetDeterministicAcrossCounts pins the §13 contract: with
+// fleetobs on, the fleet report is byte-identical (text and JSON) at every
+// shard count, the simulation results match a fleet-off run exactly, and
+// the barrier-stall attribution covers >= 95% of every shard's window wall
+// time.
+func TestShardScaleFleetDeterministicAcrossCounts(t *testing.T) {
+	cfg := Config{Duration: 2 * time.Second, Seed: 1, Fleet: true}
+	res := RunShardScale(cfg)
+	if len(res.Rows) != 4 {
+		t.Fatalf("rows = %d, want 4", len(res.Rows))
+	}
+	base := res.Rows[0].Fleet
+	if base == nil {
+		t.Fatal("Fleet config did not produce a fleet report")
+	}
+	baseJSON, err := base.JSON()
+	if err != nil {
+		t.Fatal(err)
+	}
+	baseText := base.FormatText()
+
+	// The hooks must actually flow: tenants present frames, fetch tails
+	// are measured, the scheduler advanced windows.
+	var frames uint64
+	for _, tr := range base.Tenants {
+		frames += tr.Frames
+	}
+	if frames == 0 || base.Sched.Windows == 0 || base.Fleet.FetchP99MS <= 0 {
+		t.Fatalf("fleet report looks unwired: frames=%d windows=%d fetch_p99=%g",
+			frames, base.Sched.Windows, base.Fleet.FetchP99MS)
+	}
+	if base.Sched.LookaheadUtil <= 0 || base.Sched.LookaheadUtil > 1 {
+		t.Fatalf("lookahead util = %g, want (0, 1]", base.Sched.LookaheadUtil)
+	}
+
+	for _, row := range res.Rows[1:] {
+		js, err := row.Fleet.JSON()
+		if err != nil {
+			t.Fatal(err)
+		}
+		if !bytes.Equal(js, baseJSON) {
+			t.Errorf("shards=%d: fleet report JSON diverged from serial", row.Shards)
+		}
+		if row.Fleet.FormatText() != baseText {
+			t.Errorf("shards=%d: fleet report text diverged from serial", row.Shards)
+		}
+	}
+	for _, row := range res.Rows {
+		if row.Stall == nil || row.Stall.Windows == 0 {
+			t.Fatalf("shards=%d: missing stall attribution", row.Shards)
+		}
+		for s := range row.Stall.Shards {
+			if cov := row.Stall.Coverage(s); cov < 0.95 {
+				t.Errorf("shards=%d shard %d: stall coverage %.3f < 0.95\n%s",
+					row.Shards, s, cov, row.Stall.FormatText())
+			}
+		}
+	}
+
+	// Observe-only: the simulation columns match a fleet-off serial run
+	// byte for byte.
+	off := RunShardScale(Config{Duration: 2 * time.Second, Seed: 1, Shards: 1})
+	if got, want := projectRow(res.Rows[0]), projectRow(off.Rows[0]); !reflect.DeepEqual(got, want) {
+		t.Errorf("fleetobs perturbed the simulation:\n on  %+v\n off %+v", got, want)
+	}
+}
+
 func TestShardScaleRespectsRequestedCount(t *testing.T) {
 	if got := shardScaleCounts(Config{Shards: 3}); !reflect.DeepEqual(got, []int{1, 3}) {
 		t.Fatalf("Shards=3 counts = %v, want [1 3]", got)
@@ -98,10 +168,16 @@ func TestShardScaleBenchMetricsShape(t *testing.T) {
 
 // runChaosFarm drives a two-guest farm on two shards — optionally with a
 // link collapse on guest 0 for the middle third of the run, opening and
-// closing mid-window — and returns guest 0's result.
-func runChaosFarm(t *testing.T, dur time.Duration, fault bool) *workload.Result {
+// closing mid-window — and returns guest 0's result plus the fleet
+// telemetry that watched the run.
+func runChaosFarm(t *testing.T, dur time.Duration, fault bool) (*workload.Result, *fleetobs.Fleet, time.Duration) {
 	t.Helper()
 	cats := []int{emulator.CatUHDVideo, emulator.CatLivestream}
+	fcfg := fleetobs.Config{Registry: obs.NewRegistry()}
+	for g, cat := range cats {
+		fcfg.Tenants = append(fcfg.Tenants, shardFarmTenant(g, cat))
+	}
+	fl := fleetobs.New(fcfg)
 	var (
 		sessions []*workload.Session
 		envs     []*sim.Env
@@ -115,6 +191,9 @@ func runChaosFarm(t *testing.T, dur time.Duration, fault bool) *workload.Result 
 		sessions = append(sessions, sess)
 		envs = append(envs, sess.Env)
 		machs = append(machs, sess.Machine)
+		tn := fl.Tenant(g)
+		sess.Emulator.FrameObs = tn
+		sess.Emulator.Manager.SetFetchObserver(tn.DemandFetch)
 		pd, err := workload.StartEmerging(sess.Emulator, workload.DefaultSpec(cat, g, dur))
 		if err != nil {
 			t.Fatalf("guest %d: %v", g, err)
@@ -128,17 +207,20 @@ func runChaosFarm(t *testing.T, dur time.Duration, fault bool) *workload.Result 
 		inj := faults.NewInjector(envs[0], 99)
 		inj.Schedule(dur/3, dur/3, faults.LinkCollapse(machs[0], machs[0].DRAM, machs[0].VRAM, 0.4))
 		inj.Arm()
+		fl.Tenant(0).AddFaultWindow(dur/3, dur/3)
 	}
 	sh := hostsim.NewSharedHost(hostsim.SharedHostConfig{PCIeBudget: shardFarmPCIeBudget}, machs...)
 	grp := sim.NewShardGroup(sh.Lookahead(), 2, envs...)
 	defer grp.Close()
 	sh.Attach(grp)
+	fl.Attach(grp, sh)
 	grp.RunUntil(stop)
+	fl.Finalize(stop)
 	r, err := pend[0].Wait()
 	if err != nil {
 		t.Fatalf("guest 0 result: %v", err)
 	}
-	return r
+	return r, fl, stop
 }
 
 func TestShardFarmChaosRecoversWithinEnvelope(t *testing.T) {
@@ -147,8 +229,8 @@ func TestShardFarmChaosRecoversWithinEnvelope(t *testing.T) {
 	// it holds and recover to the unfaulted trajectory within the usual
 	// robustness envelope afterwards.
 	const dur = 9 * time.Second
-	base := runChaosFarm(t, dur, false)
-	faulted := runChaosFarm(t, dur, true)
+	base, baseFl, _ := runChaosFarm(t, dur, false)
+	faulted, faultFl, stop := runChaosFarm(t, dur, true)
 	atSec := int((dur / 3) / time.Second)
 	endSec := int((2 * dur / 3) / time.Second)
 	baseMid := meanFPSRange(base.PerSecondFPS, atSec, endSec)
@@ -162,5 +244,51 @@ func TestShardFarmChaosRecoversWithinEnvelope(t *testing.T) {
 	if math.Abs(faultRec-baseRec) > tol {
 		t.Fatalf("no recovery: post-fault FPS %.2f vs unfaulted %.2f (tolerance %.2f)",
 			faultRec, baseRec, tol)
+	}
+
+	// Telemetry sanity: the scheduler metrics must agree with the fleet
+	// report — windows counted once per barrier, one barrier-wait sample per
+	// shard per window.
+	rep := faultFl.Report(stop)
+	reg := faultFl.Registry()
+	windows := reg.Counter("shard.window.count").Value()
+	if windows == 0 {
+		t.Fatal("shard.window.count stayed 0 across a 9s farm run")
+	}
+	if int(windows) != rep.Sched.Windows {
+		t.Fatalf("shard.window.count = %d but report says %d windows", windows, rep.Sched.Windows)
+	}
+	waits := reg.Histogram("shard.barrier.wait").Dist().Count()
+	if want := windows * 2; int64(waits) != want { // 2 shards
+		t.Fatalf("shard.barrier.wait has %v samples, want windows*shards = %d", waits, want)
+	}
+
+	// The mid-barrier link collapse must be visible in the QoS plane: the
+	// faulted guest racks up floor-violation seconds inside the fault window
+	// that the unfaulted run does not, and its downtime is the declared
+	// window.
+	inFault := func(secs []int) int {
+		n := 0
+		for _, s := range secs {
+			if s >= atSec && s < endSec {
+				n++
+			}
+		}
+		return n
+	}
+	baseViol := inFault(baseFl.Tenant(0).FloorViolationSeconds(stop))
+	faultViol := inFault(faultFl.Tenant(0).FloorViolationSeconds(stop))
+	if faultViol <= baseViol {
+		t.Fatalf("link collapse invisible in telemetry: %d violation seconds in fault window vs %d unfaulted",
+			faultViol, baseViol)
+	}
+	var downtime float64
+	for _, tr := range rep.Tenants {
+		if tr.Index == 0 {
+			downtime = tr.DowntimeMS
+		}
+	}
+	if want := float64(dur/3) / 1e6; downtime != want {
+		t.Fatalf("downtime = %g ms, want %g", downtime, want)
 	}
 }

@@ -84,7 +84,32 @@ type SharedHost struct {
 	heat      float64
 	throttled bool
 	crossLat  time.Duration // max per-guest cross-boundary propagation floor
+
+	// obs, when non-nil, receives one callback per arbitration window on
+	// the coordinating goroutine. stats is the reused callback argument so
+	// the enabled path does not allocate either.
+	obs   func(*SharedWindowStats)
+	stats SharedWindowStats
 }
+
+// SharedWindowStats describes one arbitration window for an observer. The
+// struct is reused — observers must copy anything they keep. Every field
+// derives from virtual time and per-link counters, so the sequence is
+// identical at every shard count for equal seeds.
+type SharedWindowStats struct {
+	Prev, Now   time.Duration // window bounds (barrier instants)
+	DemandBytes Bytes         // combined PCIe bytes the guests moved
+	BusyTime    time.Duration // combined PCIe busy time
+	Budget      float64       // configured budget, bytes/second (0 = uncapped)
+	Scale       float64       // share applied for the next window
+	Heat        float64       // thermal level after folding this window
+	Throttled   bool          // thermal envelope limiting the host
+}
+
+// SetObserver installs (or, with nil, removes) the per-window observer.
+// Call before the run; Arbitrate invokes it even when the computed scale is
+// unchanged, so observers see every window.
+func (sh *SharedHost) SetObserver(fn func(*SharedWindowStats)) { sh.obs = fn }
 
 // NewSharedHost builds an arbiter over the guests' PCIe links (host-to-
 // device and device-to-host, in machine order, so enumeration — and
@@ -178,6 +203,15 @@ func (sh *SharedHost) Arbitrate(prev, now time.Duration) {
 	}
 	if scale < sh.cfg.MinScale {
 		scale = sh.cfg.MinScale
+	}
+	if sh.obs != nil {
+		sh.stats = SharedWindowStats{
+			Prev: prev, Now: now,
+			DemandBytes: deltaBytes, BusyTime: deltaBusy,
+			Budget: sh.cfg.PCIeBudget, Scale: scale,
+			Heat: sh.heat, Throttled: sh.throttled,
+		}
+		sh.obs(&sh.stats)
 	}
 	if scale == sh.scale {
 		return

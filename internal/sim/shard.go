@@ -3,6 +3,7 @@ package sim
 import (
 	"fmt"
 	"sort"
+	"time"
 )
 
 // This file implements the conservative parallel scheduler (DESIGN.md §12):
@@ -22,11 +23,51 @@ import (
 // identically however the envs were sharded.
 
 // mail is one cross-shard message: fn runs in the target environment's
-// scheduler context at time at.
+// scheduler context at time at. bytes is observability payload only — it
+// never shapes delivery.
 type mail struct {
-	at Time
-	to int
-	fn func()
+	at    Time
+	to    int
+	bytes int64
+	fn    func()
+}
+
+// ShardLoad is one shard's share of a window: virtual events executed and
+// the wall-clock time its goroutine spent executing them. Events is
+// deterministic; Compute is a host measurement and must never feed back
+// into the simulation.
+type ShardLoad struct {
+	Events  uint64
+	Compute time.Duration
+}
+
+// ShardWindowStats describes one executed window for an observer. The
+// struct is reused across windows — observers must copy anything they keep.
+// Base/Limit/Lookahead/Final/Mails/MailBytes and every Shards[i].Events are
+// deterministic (identical at every shard count for equal seeds); the Wall*
+// fields and Shards[i].Compute are wall-clock measurements for stall
+// attribution only.
+type ShardWindowStats struct {
+	Base      Time // global earliest event time the window opened at
+	Limit     Time // window horizon actually executed to
+	Lookahead Time // configured conservative horizon
+	Final     bool // closed inclusively at the run bound
+
+	Mails     int   // cross-shard messages delivered at this barrier
+	MailBytes int64 // observability payload bytes across those messages
+
+	WallScan time.Duration // coordinator: global min-scan + window setup
+	WallExec time.Duration // coordinator: dispatch through last shard parked
+	WallArb  time.Duration // coordinator: mail delivery + barrier hooks
+
+	Shards []ShardLoad // per-shard load, indexed by shard
+}
+
+// ShardObserver receives one callback per executed window, on the
+// coordinating goroutine, after mail delivery and barrier hooks. Observers
+// must not mutate the group or its environments.
+type ShardObserver interface {
+	ShardWindow(w *ShardWindowStats)
 }
 
 // windowReq asks a worker to advance its shard's environments to limit
@@ -57,6 +98,14 @@ type ShardGroup struct {
 	start  []chan windowReq // one per extra worker (shards beyond the first)
 	done   chan struct{}
 	closed bool
+
+	// obs, when non-nil, receives per-window scheduler telemetry. stats is
+	// the reused callback argument; workers write only their own
+	// stats.Shards slot during a window and the coordinator reads at the
+	// barrier (the channel handshake orders both), so instrumentation is
+	// race-free and the disabled path stays zero-alloc.
+	obs   ShardObserver
+	stats ShardWindowStats
 }
 
 // NewShardGroup partitions envs round-robin into at most shards shards.
@@ -101,23 +150,58 @@ func NewShardGroup(lookahead Time, shards int, envs ...*Env) *ShardGroup {
 		for s := 1; s < shards; s++ {
 			ch := make(chan windowReq)
 			g.start = append(g.start, ch)
-			go g.worker(g.shards[s], ch)
+			go g.worker(s, g.shards[s], ch)
 		}
 	}
 	return g
+}
+
+// SetObserver installs (or, with nil, removes) the per-window observer.
+// Call before RunUntil; the observer is read by worker goroutines during a
+// run, so installing one mid-run is a race.
+func (g *ShardGroup) SetObserver(o ShardObserver) {
+	g.obs = o
+	if o != nil && len(g.stats.Shards) != len(g.shards) {
+		g.stats.Shards = make([]ShardLoad, len(g.shards))
+	}
 }
 
 // worker advances one shard's environments window by window. Each
 // environment runs sequentially within the shard; the parallelism is across
 // shards. The channel handshake gives the coordinator a happens-before edge
 // around every window, so barrier-time reads of env state are race-free.
-func (g *ShardGroup) worker(envs []*Env, start <-chan windowReq) {
+func (g *ShardGroup) worker(s int, envs []*Env, start <-chan windowReq) {
 	for req := range start {
-		for _, e := range envs {
-			e.runWindow(req.limit, req.final)
-		}
+		g.runShardWindow(s, envs, req.limit, req.final)
 		g.done <- struct{}{}
 	}
+}
+
+// runShardWindow advances one shard's environments through a window,
+// recording the shard's load when an observer is installed. The fast path
+// (no observer) is branch-only: no timing, no allocation.
+func (g *ShardGroup) runShardWindow(s int, envs []*Env, limit Time, final bool) {
+	if g.obs == nil {
+		for _, e := range envs {
+			e.runWindow(limit, final)
+		}
+		return
+	}
+	wall := time.Now()
+	var before uint64
+	for _, e := range envs {
+		before += e.executed
+	}
+	for _, e := range envs {
+		e.runWindow(limit, final)
+	}
+	var after uint64
+	for _, e := range envs {
+		after += e.executed
+	}
+	ld := &g.stats.Shards[s]
+	ld.Events = after - before
+	ld.Compute = time.Since(wall)
 }
 
 // Shards returns the number of shards actually running (after clamping).
@@ -151,6 +235,13 @@ func (g *ShardGroup) AtBarrier(fn func(prev, now Time)) {
 // inside the window being executed, which the conservative protocol cannot
 // honor. Delivery order is deterministic regardless of sharding.
 func (g *ShardGroup) Send(from, to int, delay Time, fn func()) {
+	g.SendSized(from, to, delay, 0, fn)
+}
+
+// SendSized is Send with an observability payload size attached: bytes is
+// reported to the group's ShardObserver as cross-shard mailbox volume but
+// never shapes delivery, so it cannot perturb determinism.
+func (g *ShardGroup) SendSized(from, to int, delay Time, bytes int64, fn func()) {
 	if fn == nil {
 		panic("sim: Send with nil callback")
 	}
@@ -160,7 +251,7 @@ func (g *ShardGroup) Send(from, to int, delay Time, fn func()) {
 	if delay < g.lookahead {
 		panic(fmt.Sprintf("sim: Send delay %v below lookahead %v", delay, g.lookahead))
 	}
-	g.outbox[from] = append(g.outbox[from], mail{at: g.envs[from].Now() + delay, to: to, fn: fn})
+	g.outbox[from] = append(g.outbox[from], mail{at: g.envs[from].Now() + delay, to: to, bytes: bytes, fn: fn})
 }
 
 // nextEventAt returns the earliest pending event time across the group.
@@ -182,9 +273,7 @@ func (g *ShardGroup) runShards(limit Time, final bool) {
 	for _, ch := range g.start {
 		ch <- req
 	}
-	for _, e := range g.shards[0] {
-		e.runWindow(limit, final)
-	}
+	g.runShardWindow(0, g.shards[0], limit, final)
 	for range g.start {
 		<-g.done
 	}
@@ -209,6 +298,12 @@ func (g *ShardGroup) deliver() {
 	for _, m := range msgs {
 		g.envs[m.to].push(event{at: m.at, fn: m.fn})
 	}
+	if g.obs != nil {
+		g.stats.Mails = len(msgs)
+		for _, m := range msgs {
+			g.stats.MailBytes += m.bytes
+		}
+	}
 }
 
 // RunUntil drives every environment to exactly t under the windowed
@@ -221,6 +316,10 @@ func (g *ShardGroup) RunUntil(t Time) {
 		panic("sim: RunUntil on closed shard group")
 	}
 	for {
+		var scanStart time.Time
+		if g.obs != nil {
+			scanStart = time.Now()
+		}
 		T, have := g.nextEventAt()
 		if !have || T > t {
 			// Nothing left inside the bound: advance every clock to t.
@@ -243,12 +342,30 @@ func (g *ShardGroup) RunUntil(t Time) {
 		if final {
 			limit = t
 		}
+		var execStart time.Time
+		if g.obs != nil {
+			g.stats.Base, g.stats.Limit = T, limit
+			g.stats.Lookahead = g.lookahead
+			g.stats.Final = final
+			g.stats.Mails, g.stats.MailBytes = 0, 0
+			execStart = time.Now()
+		}
 		g.runShards(limit, final)
+		var arbStart time.Time
+		if g.obs != nil {
+			arbStart = time.Now()
+		}
 		g.deliver()
 		prev := g.now
 		g.now = limit
 		for _, h := range g.hooks {
 			h(prev, limit)
+		}
+		if g.obs != nil {
+			g.stats.WallScan = execStart.Sub(scanStart)
+			g.stats.WallExec = arbStart.Sub(execStart)
+			g.stats.WallArb = time.Since(arbStart)
+			g.obs.ShardWindow(&g.stats)
 		}
 		if final {
 			return

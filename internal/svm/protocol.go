@@ -59,9 +59,21 @@ func (m *Manager) copyCoherenceOpts(p *sim.Proc, from, to *hostsim.Domain, bytes
 	return elapsed
 }
 
-// demandFetch synchronously brings acc.Domain current from the owner,
-// using the slow synchronous copy path.
+// demandFetch synchronously brings acc.Domain current from the owner. It
+// dispatches to the chunked pipeline (§11) when enabled, or the slow
+// synchronous copy path otherwise, and reports the reader-perceived latency
+// of either to the fetch observer.
 func (m *Manager) demandFetch(p *sim.Proc, r *Region, acc Accessor, bytes hostsim.Bytes, direct bool) {
+	if m.fetchObs == nil {
+		m.demandFetchInner(p, r, acc, bytes, direct)
+		return
+	}
+	start := p.Now()
+	m.demandFetchInner(p, r, acc, bytes, direct)
+	m.fetchObs(p.Now(), p.Now()-start)
+}
+
+func (m *Manager) demandFetchInner(p *sim.Proc, r *Region, acc Accessor, bytes hostsim.Bytes, direct bool) {
 	if m.cfg.Fetch.Enabled {
 		m.chunkedDemandFetch(p, r, acc, bytes, direct)
 		return

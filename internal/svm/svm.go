@@ -172,6 +172,7 @@ type Manager struct {
 
 	stats    Stats
 	observer AccessObserver
+	fetchObs FetchObserver
 
 	// Observability (all nil-safe when tracing/metrics are off). Accessor
 	// tracks are interned lazily: most runs touch a handful of accessors.
@@ -277,6 +278,17 @@ func (m *Manager) Stats() *Stats { return &m.stats }
 
 // SetObserver installs the access instrumentation hook (nil to disable).
 func (m *Manager) SetObserver(o AccessObserver) { m.observer = o }
+
+// FetchObserver receives one callback per completed demand fetch — the
+// reader-perceived latency from entering the fetch to its copy being
+// installed, monolithic or chunked alike. at is the virtual completion
+// instant. Purely observational: the callback runs after the fetch's last
+// simulated effect, so it cannot perturb results.
+type FetchObserver func(at, latency time.Duration)
+
+// SetFetchObserver installs the demand-fetch latency hook (nil to disable).
+// The nil path costs one branch and no allocation.
+func (m *Manager) SetFetchObserver(o FetchObserver) { m.fetchObs = o }
 
 // RegisterVirtualDevice declares a virtual device node. Nodes must be
 // registered at startup, before any flow involving them is observed.

@@ -137,6 +137,9 @@ func (s *sink) run(p *sim.Proc) {
 			// rendering (releaseOutputBuffer(render=false)).
 			s.fps.Drop()
 			s.staleDrops++
+			if fo := s.e.FrameObs; fo != nil {
+				fo.FrameDropped(p.Now())
+			}
 			if debugSink {
 				println("STALE", int64(p.Now()/1e6), "seq", b.Seq, "late_ms", int64(late/1e6), "backlog", backlog)
 			}
@@ -181,14 +184,23 @@ func (s *sink) run(p *sim.Proc) {
 					// Rendered but missed the presentation window.
 					s.fps.Drop()
 					s.deadlineDrops++
+					if fo := s.e.FrameObs; fo != nil {
+						fo.FrameDropped(at)
+					}
 					if debugSink {
 						println("DEADLINE", int64(at/1e6), "sched", int64(sched/1e6), "deadline", int64(deadline/1e6))
 					}
 					return
 				}
 				s.fps.Present(at)
+				if fo := s.e.FrameObs; fo != nil {
+					fo.FramePresented(at)
+				}
 				if s.measureLatency && src > 0 {
 					s.lat.AddDuration(at - src)
+					if fo := s.e.FrameObs; fo != nil {
+						fo.MotionToPhoton(at, at-src)
+					}
 				}
 				pf.FrameDone(frame, at)
 			},
@@ -227,6 +239,9 @@ func (s *sink) runLatestWins(p *sim.Proc) {
 			}
 			s.fps.Drop()
 			s.staleDrops++
+			if fo := s.e.FrameObs; fo != nil {
+				fo.FrameDropped(p.Now())
+			}
 			s.q.Release(p, b)
 			b = nb
 		}
@@ -256,8 +271,14 @@ func (s *sink) runLatestWins(p *sim.Proc) {
 			Kind: device.OpExec, Exec: 200 * time.Microsecond, After: last, Commands: 4,
 			OnComplete: func(at time.Duration) {
 				s.fps.Present(at)
+				if fo := s.e.FrameObs; fo != nil {
+					fo.FramePresented(at)
+				}
 				if s.measureLatency && src > 0 {
 					s.lat.AddDuration(at - src)
+					if fo := s.e.FrameObs; fo != nil {
+						fo.MotionToPhoton(at, at-src)
+					}
 				}
 				pf.FrameDone(frame, at)
 			},
