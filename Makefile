@@ -4,7 +4,7 @@
 
 GO ?= go
 
-.PHONY: check build vet test docs-check race bench-smoke chaos-smoke trace-smoke bench perf-smoke perf-gate verify
+.PHONY: check build vet test docs-check race bench-smoke chaos-smoke trace-smoke tune-smoke bench perf-smoke perf-gate verify
 
 check: vet build test docs-check
 
@@ -18,8 +18,9 @@ test:
 	$(GO) test ./...
 
 # Documentation gate: every internal package doc must name its paper section
-# and determinism contract, and README/DESIGN/EXPERIMENTS must not reference
-# paths that left the tree.
+# and determinism contract, README/DESIGN/EXPERIMENTS must not reference
+# paths that left the tree, and DESIGN.md §14 must name every knob the
+# internal/tune registry declares.
 docs-check:
 	$(GO) run ./cmd/docscheck .
 
@@ -51,6 +52,17 @@ trace-smoke:
 	$(GO) run ./cmd/vsocbench -exp shardscale -duration 4s -shards 2 -fleet -trace /tmp/vsoc-shardscale.json > /dev/null
 	$(GO) run ./cmd/tracecheck /tmp/vsoc-trace-*.json /tmp/vsoc-shardscale-fleet-shards*.json
 
+# Config-search gate (DESIGN.md §14): a tiny-budget deterministic search on
+# the write-invalidate preset must find a vector that vsocperf confirms —
+# the objective (demand-fetch mean) improves and no gated metric regresses
+# past 5%. The search is seeded, so the found vector and the diff are
+# byte-stable across runs and machines.
+tune-smoke:
+	$(GO) run ./cmd/vsoctune -preset vsoc-noprefetch -duration 2s -apps 1 -budget 6 -seed 1 -out /tmp/vsoc-tune > /dev/null
+	$(GO) run ./cmd/vsocperf /tmp/vsoc-tune-vsoc-noprefetch-default.json /tmp/vsoc-tune-vsoc-noprefetch-best.json | tail -n 2
+	@$(GO) run ./cmd/vsocperf /tmp/vsoc-tune-vsoc-noprefetch-best.json /tmp/vsoc-tune-vsoc-noprefetch-default.json > /dev/null 2>&1; \
+	if [ $$? -eq 0 ]; then echo "tune-smoke: best vector shows no improvement over defaults" >&2; exit 1; fi
+
 # Benchmark trajectory: the profiled micro run (Fig. 16 + critical-path
 # attribution, DESIGN.md §10) with chunked demand fetches on (§11), plus the
 # sharded-farm sweep (§12) at four shards with fleet telemetry attached
@@ -58,7 +70,7 @@ trace-smoke:
 # the trajectory — written as one machine-readable bench report plus the
 # micro run's folded-stack flamegraph. CI uploads both as artifacts.
 bench:
-	$(GO) run ./cmd/vsocbench -exp micro,shardscale -duration 8s -apps 2 -fetch -shards 4 -fleet -json BENCH_PR8.json -profile BENCH_PR8.folded > /dev/null
+	$(GO) run ./cmd/vsocbench -exp micro,shardscale -duration 8s -apps 2 -fetch -shards 4 -fleet -json BENCH_PR9.json -profile BENCH_PR9.folded > /dev/null
 
 # The shardscale events/s, speedup, and fleet barrier-stall metrics measure
 # the build host's wall clock, not the simulation; gate them at a wide 90%
@@ -73,14 +85,13 @@ PERF_NOISY = -metric shardscale.events_per_sec_serial=0.9 \
 # Perf gate: vsocperf must parse the fresh bench report and find zero
 # regressions diffing it against itself (exit 1 on any).
 perf-smoke: bench
-	$(GO) run ./cmd/vsocperf BENCH_PR8.json BENCH_PR8.json
+	$(GO) run ./cmd/vsocperf BENCH_PR9.json BENCH_PR9.json
 
-# Cross-PR perf gate: the fresh fleet-instrumented run must not regress
-# against the committed PR7 baseline (vsocperf exits 1 on any regression);
-# the micro and deterministic shardscale metrics must hold exactly — the
-# fleet layer is observe-only — and the fleet.* metrics appear as
-# trajectory growth.
+# Cross-PR perf gate: the fresh run must not regress against the committed
+# PR8 baseline (vsocperf exits 1 on any regression). The tuner is a
+# search layer on top of the experiments — it changes no simulation path —
+# so the whole deterministic trajectory must hold exactly.
 perf-gate: bench
-	$(GO) run ./cmd/vsocperf $(PERF_NOISY) BENCH_PR7.json BENCH_PR8.json
+	$(GO) run ./cmd/vsocperf $(PERF_NOISY) BENCH_PR8.json BENCH_PR9.json
 
-verify: check race bench-smoke chaos-smoke trace-smoke perf-smoke perf-gate
+verify: check race bench-smoke chaos-smoke trace-smoke tune-smoke perf-smoke perf-gate

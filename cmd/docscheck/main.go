@@ -1,6 +1,6 @@
 // Command docscheck lints the repository's documentation contract.
 //
-// Two checks, both stdlib-only:
+// Three checks:
 //
 //  1. Every package under internal/ must carry a package doc comment that
 //     names the paper section it reproduces (a "§" reference) and states
@@ -12,6 +12,11 @@
 //     EXPERIMENTS.md) must not reference repository paths that do not
 //     exist: backtick-quoted `cmd/...`, `internal/...`, `examples/...`
 //     paths and bare *.md names are resolved against the working tree.
+//
+//  3. Every knob registered in the internal/tune config-search space must
+//     be named in DESIGN.md (the §14 knob table), so the search space and
+//     its documentation cannot drift apart. This check imports the live
+//     registry — the lint is against the compiled knob list, not a copy.
 //
 // Usage: docscheck [repo root] (defaults to "."). Exits non-zero with one
 // line per violation; prints nothing on success.
@@ -27,6 +32,8 @@ import (
 	"regexp"
 	"sort"
 	"strings"
+
+	"repro/internal/tune"
 )
 
 func main() {
@@ -37,6 +44,7 @@ func main() {
 	var problems []string
 	problems = append(problems, checkPackageDocs(root)...)
 	problems = append(problems, checkMarkdownRefs(root)...)
+	problems = append(problems, checkKnobDocs(root)...)
 	if len(problems) > 0 {
 		for _, p := range problems {
 			fmt.Fprintln(os.Stderr, p)
@@ -127,6 +135,25 @@ func checkMarkdownRefs(root string) []string {
 						"%s:%d: reference %q does not exist in the tree", name, lineNo+1, ref))
 				}
 			}
+		}
+	}
+	return problems
+}
+
+// checkKnobDocs verifies DESIGN.md names every knob the internal/tune
+// registry declares. Name-level: the literal knob string (e.g.
+// "fetch.chunk_kib") must appear somewhere in the document.
+func checkKnobDocs(root string) []string {
+	data, err := os.ReadFile(filepath.Join(root, "DESIGN.md"))
+	if err != nil {
+		return []string{fmt.Sprintf("DESIGN.md: %v", err)}
+	}
+	doc := string(data)
+	var problems []string
+	for _, k := range tune.AllKnobs() {
+		if !strings.Contains(doc, k.Name) {
+			problems = append(problems, fmt.Sprintf(
+				"DESIGN.md: tuner knob %q is registered in internal/tune but never named", k.Name))
 		}
 	}
 	return problems

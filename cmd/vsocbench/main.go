@@ -51,7 +51,9 @@ import (
 	"strings"
 	"time"
 
+	"repro/internal/emulator"
 	"repro/internal/experiments"
+	"repro/internal/tune"
 )
 
 func main() {
@@ -181,6 +183,24 @@ func main() {
 			r := experiments.RunShardScale(cfg)
 			fmt.Print(experiments.FormatShardScale(r))
 			return experiments.ShardScaleBenchMetrics(r)
+		},
+		"tune": func() []experiments.BenchMetric {
+			// The tuner re-runs the evaluation probe once per candidate, so
+			// cap the per-evaluation cost: full -duration/-apps would
+			// multiply a 30s session by the whole search budget. cmd/vsoctune
+			// exposes the uncapped flag set.
+			tcfg := cfg
+			if tcfg.Duration > 6*time.Second {
+				tcfg.Duration = 6 * time.Second
+			}
+			if tcfg.AppsPerCategory > 2 {
+				tcfg.AppsPerCategory = 2
+			}
+			opts := tune.Options{Seed: cfg.Seed, Budget: 24}
+			for _, p := range []emulator.Preset{emulator.VSoCNoPrefetch(), emulator.VSoC()} {
+				fmt.Print(tune.Run(tcfg, p, opts).FormatResult())
+			}
+			return nil
 		},
 	}
 

@@ -40,6 +40,15 @@ func (c Config) workers() int {
 // are applied.
 func (c Config) EffectiveWorkers() int { return c.workers() }
 
+// ParMap exposes the fan-out pool to sibling drivers: the internal/tune
+// search evaluates candidate batches through it (each candidate's inner run
+// serial, candidates in parallel), with the same determinism contract as
+// the experiment drivers — results land at their argument index, callers
+// merge in order, output is independent of worker count.
+func ParMap[R any](workers, n int, fn func(int) R) []R {
+	return parmap(workers, n, fn)
+}
+
 // parmap evaluates fn(0) … fn(n-1) on at most workers goroutines and
 // returns the results indexed by argument. fn must derive everything from
 // its index (no iteration-order dependence); callers then merge out[0..n-1]

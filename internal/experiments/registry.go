@@ -76,6 +76,8 @@ func Registry() []Entry {
 		{Name: "shardscale", Bench: true,
 			Summary: "multi-guest farm under the conservative parallel scheduler: determinism check and events/s scaling across shard counts (DESIGN.md §12); -fleet adds the QoS/SLO fleet report and barrier-stall attribution (§13); excluded from -exp all",
 			Trace:   "with -fleet, writes one fleet-counter trace per shard count next to the given path"},
+		{Name: "tune",
+			Summary: "auto-tune the batching/fetch/prefetch config space per preset: deterministic grid + hill-climb search with constrained objectives (DESIGN.md §14, cmd/vsoctune has the full flag set); excluded from -exp all"},
 	}
 }
 

@@ -15,6 +15,15 @@
 // event kernel — link service order is a function of (virtual time,
 // sequence), never host scheduling — so equal seeds move every byte at the
 // same simulated instant.
+//
+// Two optional layers ride on the link graph. fetch.go is the chunked,
+// DMA-promoted demand-fetch pipeline (DESIGN.md §11): large synchronous
+// copies split into chunks that overlap on the link's DMA lane, off by
+// default and byte-identical to absent when off. shared.go is the
+// shared-host arbiter for multi-guest farms (DESIGN.md §12): an aggregate
+// bandwidth budget applied to every guest's links at fixed arbitration
+// windows, deterministic because scale decisions depend only on
+// virtual-time demand observed at window boundaries.
 package hostsim
 
 import "fmt"

@@ -16,5 +16,15 @@
 //
 // The kernel itself reproduces nothing from the paper — it is the substrate
 // that makes the reproduction's claims checkable: the §2.3 measurement study
-// and the §5 evaluation both replay on it bit for bit.
+// and the §5 evaluation both replay on it bit for bit. DESIGN.md §5
+// documents the scheduler internals (rendezvous, event queue, process
+// lifecycle).
+//
+// shard.go adds the conservative parallel shard runtime (DESIGN.md §12): a
+// ShardGroup runs several Envs on worker goroutines in lockstep lookahead
+// windows bounded by each shard's earliest possible cross-shard effect,
+// with mailboxes delivered at barriers. The determinism contract carries
+// over — every shard observes the same (time, sequence) order at every
+// shard count, so multi-guest runs are byte-identical to their serial
+// interleaving.
 package sim
