@@ -4,7 +4,7 @@
 
 GO ?= go
 
-.PHONY: check build vet test docs-check race bench-smoke chaos-smoke trace-smoke tune-smoke bench perf-smoke perf-gate verify
+.PHONY: check build vet test docs-check race bench-smoke chaos-smoke trace-smoke tune-smoke mon-smoke bench perf-smoke perf-gate verify
 
 check: vet build test docs-check
 
@@ -19,8 +19,9 @@ test:
 
 # Documentation gate: every internal package doc must name its paper section
 # and determinism contract, README/DESIGN/EXPERIMENTS must not reference
-# paths that left the tree, and DESIGN.md §14 must name every knob the
-# internal/tune registry declares.
+# paths that left the tree, DESIGN.md §14 must name every knob the
+# internal/tune registry declares, and EXPERIMENTS.md must document every
+# experiment the internal/experiments registry declares.
 docs-check:
 	$(GO) run ./cmd/docscheck .
 
@@ -63,14 +64,25 @@ tune-smoke:
 	@$(GO) run ./cmd/vsocperf /tmp/vsoc-tune-vsoc-noprefetch-best.json /tmp/vsoc-tune-vsoc-noprefetch-default.json > /dev/null 2>&1; \
 	if [ $$? -eq 0 ]; then echo "tune-smoke: best vector shows no improvement over defaults" >&2; exit 1; fi
 
+# Telemetry gate (DESIGN.md §15): the monitored phased-load scenario must
+# raise at least one incident, and two equal-seed runs must produce
+# byte-identical monitor reports (vsocmon -digest compares the report
+# fingerprints; cmp the whole files).
+mon-smoke:
+	$(GO) run ./cmd/vsocbench -exp phasedload -duration 16s -seed 1 -monout /tmp/vsoc-mon-a.json > /dev/null
+	$(GO) run ./cmd/vsocbench -exp phasedload -duration 16s -seed 1 -monout /tmp/vsoc-mon-b.json > /dev/null
+	$(GO) run ./cmd/vsocmon -min-incidents 1 -digest /tmp/vsoc-mon-a.json /tmp/vsoc-mon-b.json
+	cmp /tmp/vsoc-mon-a.json /tmp/vsoc-mon-b.json
+
 # Benchmark trajectory: the profiled micro run (Fig. 16 + critical-path
 # attribution, DESIGN.md §10) with chunked demand fetches on (§11), plus the
 # sharded-farm sweep (§12) at four shards with fleet telemetry attached
-# (§13) — shard-utilization, QoS attainment, and tail-latency metrics join
-# the trajectory — written as one machine-readable bench report plus the
-# micro run's folded-stack flamegraph. CI uploads both as artifacts.
+# (§13), plus the monitored phased-load scenario (§15) — incident counts
+# and the first-trigger window join the trajectory — written as one
+# machine-readable bench report plus the micro run's folded-stack
+# flamegraph. CI uploads both as artifacts.
 bench:
-	$(GO) run ./cmd/vsocbench -exp micro,shardscale -duration 8s -apps 2 -fetch -shards 4 -fleet -json BENCH_PR9.json -profile BENCH_PR9.folded > /dev/null
+	$(GO) run ./cmd/vsocbench -exp micro,shardscale,phasedload -duration 8s -apps 2 -fetch -shards 4 -fleet -json BENCH_PR10.json -profile BENCH_PR10.folded > /dev/null
 
 # The shardscale events/s, speedup, and fleet barrier-stall metrics measure
 # the build host's wall clock, not the simulation; gate them at a wide 90%
@@ -85,13 +97,14 @@ PERF_NOISY = -metric shardscale.events_per_sec_serial=0.9 \
 # Perf gate: vsocperf must parse the fresh bench report and find zero
 # regressions diffing it against itself (exit 1 on any).
 perf-smoke: bench
-	$(GO) run ./cmd/vsocperf BENCH_PR9.json BENCH_PR9.json
+	$(GO) run ./cmd/vsocperf BENCH_PR10.json BENCH_PR10.json
 
 # Cross-PR perf gate: the fresh run must not regress against the committed
-# PR8 baseline (vsocperf exits 1 on any regression). The tuner is a
-# search layer on top of the experiments — it changes no simulation path —
-# so the whole deterministic trajectory must hold exactly.
+# PR9 baseline (vsocperf exits 1 on any regression). The telemetry layer is
+# observe-only — it changes no simulation path — so the whole deterministic
+# trajectory must hold exactly; the new phased.* metrics appear only on the
+# new side and diff as "new metric", never as regressions.
 perf-gate: bench
-	$(GO) run ./cmd/vsocperf $(PERF_NOISY) BENCH_PR8.json BENCH_PR9.json
+	$(GO) run ./cmd/vsocperf $(PERF_NOISY) BENCH_PR9.json BENCH_PR10.json
 
-verify: check race bench-smoke chaos-smoke trace-smoke tune-smoke perf-smoke perf-gate
+verify: check race bench-smoke chaos-smoke trace-smoke tune-smoke mon-smoke perf-smoke perf-gate

@@ -1,6 +1,6 @@
 // Command docscheck lints the repository's documentation contract.
 //
-// Three checks:
+// Four checks:
 //
 //  1. Every package under internal/ must carry a package doc comment that
 //     names the paper section it reproduces (a "§" reference) and states
@@ -18,6 +18,11 @@
 //     its documentation cannot drift apart. This check imports the live
 //     registry — the lint is against the compiled knob list, not a copy.
 //
+//  4. Every experiment in the internal/experiments registry must be
+//     documented in EXPERIMENTS.md: the literal "-exp <name>" invocation
+//     has to appear, so a new experiment cannot ship without its entry.
+//     Like check 3, this lints against the live compiled registry.
+//
 // Usage: docscheck [repo root] (defaults to "."). Exits non-zero with one
 // line per violation; prints nothing on success.
 package main
@@ -33,6 +38,7 @@ import (
 	"sort"
 	"strings"
 
+	"repro/internal/experiments"
 	"repro/internal/tune"
 )
 
@@ -45,6 +51,7 @@ func main() {
 	problems = append(problems, checkPackageDocs(root)...)
 	problems = append(problems, checkMarkdownRefs(root)...)
 	problems = append(problems, checkKnobDocs(root)...)
+	problems = append(problems, checkExperimentDocs(root)...)
 	if len(problems) > 0 {
 		for _, p := range problems {
 			fmt.Fprintln(os.Stderr, p)
@@ -154,6 +161,25 @@ func checkKnobDocs(root string) []string {
 		if !strings.Contains(doc, k.Name) {
 			problems = append(problems, fmt.Sprintf(
 				"DESIGN.md: tuner knob %q is registered in internal/tune but never named", k.Name))
+		}
+	}
+	return problems
+}
+
+// checkExperimentDocs verifies EXPERIMENTS.md documents every experiment
+// the internal/experiments registry declares: the literal "-exp <name>"
+// invocation must appear for each canonical name.
+func checkExperimentDocs(root string) []string {
+	data, err := os.ReadFile(filepath.Join(root, "EXPERIMENTS.md"))
+	if err != nil {
+		return []string{fmt.Sprintf("EXPERIMENTS.md: %v", err)}
+	}
+	doc := string(data)
+	var problems []string
+	for _, e := range experiments.Registry() {
+		if !strings.Contains(doc, "-exp "+e.Name) {
+			problems = append(problems, fmt.Sprintf(
+				"EXPERIMENTS.md: experiment %q is registered in internal/experiments but \"-exp %s\" is never documented", e.Name, e.Name))
 		}
 	}
 	return problems

@@ -37,6 +37,14 @@
 // byte-identical with it on or off. With -trace it also writes one
 // fleet-counter trace per shard count.
 //
+// -mon enables the streaming telemetry engine (DESIGN.md §15) for the
+// experiments that support it: windowed virtual-time rollups, online
+// SLO/anomaly detectors, and the incident flight recorder. The phasedload
+// scenario monitors unconditionally (monitoring is its subject); the
+// shardscale farm monitors when -mon is set, with a report byte-identical
+// at every shard count. -monout writes the machine-readable monitor
+// report for cmd/vsocmon to render.
+//
 // -profile writes the critical-path profiler's folded-stack flamegraph
 // export for the experiments that support it (micro); feed it to any
 // flamegraph renderer. -json writes the machine-readable bench report —
@@ -70,6 +78,8 @@ func main() {
 	fetch := flag.Bool("fetch", false, "enable chunked, DMA-promoted demand fetches (DESIGN.md §11) for supporting experiments (micro, fig16)")
 	shards := flag.Int("shards", 0, "shard count for the shardscale farm (DESIGN.md §12): 0 sweeps 1,2,4,8; N>1 runs 1 and N")
 	fleet := flag.Bool("fleet", false, "enable fleet/scheduler telemetry (DESIGN.md §13) for the shardscale farm: QoS/SLO report and barrier-stall attribution")
+	mon := flag.Bool("mon", false, "enable the streaming telemetry engine (DESIGN.md §15) for supporting experiments (shardscale); phasedload monitors unconditionally")
+	monOut := flag.String("monout", "", "write the machine-readable monitor report (for cmd/vsocmon) to this path; the shardscale farm derives one path per shard count")
 	flag.Usage = func() {
 		out := flag.CommandLine.Output()
 		fmt.Fprintf(out, "Usage of %s:\n", os.Args[0])
@@ -91,6 +101,8 @@ func main() {
 		Fetch:           *fetch,
 		Shards:          *shards,
 		Fleet:           *fleet,
+		Monitor:         *mon,
+		MonPath:         *monOut,
 	}
 
 	// Runners by canonical experiment name (see the registry for aliases).
@@ -183,6 +195,11 @@ func main() {
 			r := experiments.RunShardScale(cfg)
 			fmt.Print(experiments.FormatShardScale(r))
 			return experiments.ShardScaleBenchMetrics(r)
+		},
+		"phasedload": func() []experiments.BenchMetric {
+			r := experiments.RunPhasedLoad(cfg)
+			fmt.Print(experiments.FormatPhasedLoad(r))
+			return experiments.PhasedLoadBenchMetrics(r)
 		},
 		"tune": func() []experiments.BenchMetric {
 			// The tuner re-runs the evaluation probe once per candidate, so

@@ -20,6 +20,14 @@
 // (DESIGN.md §13): it appends the per-tenant QoS/SLO fleet report and the
 // wall-clock barrier-stall attribution table. Observe-only — per-guest
 // results are byte-identical with it on or off.
+//
+// -mon attaches the streaming telemetry engine (DESIGN.md §15): windowed
+// virtual-time rollups, online SLO/anomaly detectors, and the incident
+// flight recorder. In single mode the run is driven at window grain
+// (emerging apps only); in farm mode windows seal at shard barriers, so
+// the report is byte-identical at every -shards count. Observe-only like
+// -fleet. -monout writes the machine-readable monitor report for
+// cmd/vsocmon to render.
 package main
 
 import (
@@ -35,6 +43,7 @@ import (
 	"repro/internal/hostsim"
 	"repro/internal/obs"
 	"repro/internal/sim"
+	"repro/internal/tsmon"
 	"repro/internal/workload"
 )
 
@@ -66,6 +75,8 @@ func main() {
 	fetch := flag.Bool("fetch", false, "enable chunked, DMA-promoted demand fetches (DESIGN.md §11)")
 	shards := flag.Int("shards", 0, "farm mode: run N guest instances under the sharded scheduler (DESIGN.md §12); 0 = single instance")
 	fleet := flag.Bool("fleet", false, "farm mode: append the fleet QoS/SLO report and barrier-stall attribution (DESIGN.md §13)")
+	mon := flag.Bool("mon", false, "attach the streaming telemetry engine (DESIGN.md §15): windowed rollups, online detectors, incident flight recorder")
+	monOut := flag.String("monout", "", "write the machine-readable monitor report (for cmd/vsocmon) to this path")
 	flag.Parse()
 
 	presetFn, ok := presetsByName[strings.ToLower(*emuName)]
@@ -82,7 +93,11 @@ func main() {
 		preset.Fetch = hostsim.EnabledFetch()
 	}
 	if *shards > 0 {
-		runFarm(preset, machine, strings.ToLower(*appName), *duration, *seed, *shards, *fleet)
+		runFarm(preset, machine, strings.ToLower(*appName), *duration, *seed, *shards, *fleet, *mon, *monOut)
+		return
+	}
+	if *mon {
+		runMonitoredSingle(preset, machine, strings.ToLower(*appName), *duration, *seed, *monOut)
 		return
 	}
 	sess := workload.NewSession(preset, machine.New, *seed)
@@ -176,10 +191,70 @@ func farmSLO(cat int) time.Duration {
 	return 0
 }
 
+// farmMonitor builds a tsmon monitor for n guests of the app, mirroring
+// the farm's fleet QoS contracts.
+func farmMonitor(app string, cat, n int) *tsmon.Monitor {
+	var mcfg tsmon.Config
+	for g := 0; g < n; g++ {
+		mcfg.Tenants = append(mcfg.Tenants, tsmon.TenantConfig{
+			Name:     fmt.Sprintf("g%d:%s", g, app),
+			FPSFloor: 30,
+			M2PSLO:   farmSLO(cat),
+		})
+	}
+	return tsmon.New(mcfg)
+}
+
+// finishMonitor finalizes the monitor, prints its report, and writes the
+// machine-readable file when requested.
+func finishMonitor(mon *tsmon.Monitor, stop time.Duration, monOut string) {
+	mon.Finalize(stop)
+	rep := mon.Report()
+	fmt.Println()
+	fmt.Print(rep.FormatText())
+	if monOut != "" {
+		if err := rep.WriteJSONFile(monOut); err != nil {
+			die("write monitor report: %v", err)
+		}
+		fmt.Printf("monitor report written to %s\n", monOut)
+	}
+}
+
+// runMonitoredSingle runs one guest with the streaming telemetry engine
+// attached, driving the simulation at window grain so rollups seal as
+// virtual time passes each boundary. Emerging apps only: the popular-app
+// kinds drive their own environment loop.
+func runMonitoredSingle(preset emulator.Preset, machine experiments.MachineSpec, app string, dur time.Duration, seed int64, monOut string) {
+	cat, ok := farmCategories[app]
+	if !ok {
+		die("-mon supports the emerging apps only (uhd, 360, camera, ar, livestream)")
+	}
+	sess := workload.NewSession(preset, machine.New, seed)
+	defer sess.Close()
+	mon := farmMonitor(app, cat, 1)
+	tn := mon.Tenant(0)
+	sess.Emulator.FrameObs = tn
+	sess.Emulator.Manager.SetFetchObserver(tn.DemandFetch)
+	experiments.MonitorProbes(tn, sess)
+	pd, err := workload.StartEmerging(sess.Emulator, workload.DefaultSpec(cat, 0, dur))
+	if err != nil {
+		die("run failed: %v", err)
+	}
+	sess.Env.RunUntilEvery(pd.Stop(), mon.WindowWidth(), mon.Seal)
+	r, err := pd.Wait()
+	if err != nil {
+		die("run failed: %v", err)
+	}
+	fmt.Println(r)
+	fmt.Printf("frames=%d drops=%d (stale %d, deadline %d)\n",
+		r.Frames, r.Drops, r.StaleDrops, r.DeadlineDrops)
+	finishMonitor(mon, pd.Stop(), monOut)
+}
+
 // runFarm runs n guest instances of the app as a sharded farm: one
 // environment and one shard per guest, coupled through the shared-host
 // arbiter at window barriers.
-func runFarm(preset emulator.Preset, machine experiments.MachineSpec, app string, dur time.Duration, seed int64, n int, fleet bool) {
+func runFarm(preset emulator.Preset, machine experiments.MachineSpec, app string, dur time.Duration, seed int64, n int, fleet, monOn bool, monOut string) {
 	cat, ok := farmCategories[app]
 	if !ok {
 		die("-shards farm mode supports the emerging apps only (uhd, 360, camera, ar, livestream)")
@@ -196,6 +271,10 @@ func runFarm(preset emulator.Preset, machine experiments.MachineSpec, app string
 		}
 		fl = fleetobs.New(fcfg)
 	}
+	var mon *tsmon.Monitor
+	if monOn {
+		mon = farmMonitor(app, cat, n)
+	}
 	envs := make([]*sim.Env, 0, n)
 	machs := make([]*hostsim.Machine, 0, n)
 	pend := make([]*workload.Pending, 0, n)
@@ -205,10 +284,34 @@ func runFarm(preset emulator.Preset, machine experiments.MachineSpec, app string
 		defer sess.Close()
 		envs = append(envs, sess.Env)
 		machs = append(machs, sess.Machine)
+		var frames []emulator.FrameObserver
+		var fetches []func(at, latency time.Duration)
 		if fl != nil {
 			tn := fl.Tenant(g)
-			sess.Emulator.FrameObs = tn
-			sess.Emulator.Manager.SetFetchObserver(tn.DemandFetch)
+			frames = append(frames, tn)
+			fetches = append(fetches, tn.DemandFetch)
+		}
+		if mon != nil {
+			mt := mon.Tenant(g)
+			frames = append(frames, mt)
+			fetches = append(fetches, mt.DemandFetch)
+			experiments.MonitorProbes(mt, sess)
+		}
+		switch len(frames) {
+		case 1:
+			sess.Emulator.FrameObs = frames[0]
+		case 2:
+			sess.Emulator.FrameObs = frameTee{frames[0], frames[1]}
+		}
+		switch len(fetches) {
+		case 1:
+			sess.Emulator.Manager.SetFetchObserver(fetches[0])
+		case 2:
+			a, b := fetches[0], fetches[1]
+			sess.Emulator.Manager.SetFetchObserver(func(at, latency time.Duration) {
+				a(at, latency)
+				b(at, latency)
+			})
 		}
 		pd, err := workload.StartEmerging(sess.Emulator, workload.DefaultSpec(cat, g, dur))
 		if err != nil {
@@ -225,6 +328,9 @@ func runFarm(preset emulator.Preset, machine experiments.MachineSpec, app string
 	sh.Attach(grp)
 	if fl != nil {
 		fl.Attach(grp, sh)
+	}
+	if mon != nil {
+		grp.AtBarrier(func(prev, now time.Duration) { mon.Seal(now) })
 	}
 	wallStart := time.Now()
 	grp.RunUntil(stop)
@@ -247,6 +353,28 @@ func runFarm(preset emulator.Preset, machine experiments.MachineSpec, app string
 		fmt.Println()
 		fmt.Print(fl.StallReport().FormatText())
 	}
+	if mon != nil {
+		finishMonitor(mon, stop, monOut)
+	}
+}
+
+// frameTee fans one guest's frame telemetry out to the fleet and monitor
+// layers when both are attached.
+type frameTee struct{ a, b emulator.FrameObserver }
+
+func (t frameTee) FramePresented(at time.Duration) {
+	t.a.FramePresented(at)
+	t.b.FramePresented(at)
+}
+
+func (t frameTee) FrameDropped(at time.Duration) {
+	t.a.FrameDropped(at)
+	t.b.FrameDropped(at)
+}
+
+func (t frameTee) MotionToPhoton(at, latency time.Duration) {
+	t.a.MotionToPhoton(at, latency)
+	t.b.MotionToPhoton(at, latency)
 }
 
 func die(format string, args ...any) {

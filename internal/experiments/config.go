@@ -69,6 +69,17 @@ type Config struct {
 	// byte-identical with it on or off; off by default so the report stays
 	// comparable with pre-fleetobs builds.
 	Fleet bool
+	// Monitor enables the streaming telemetry engine (internal/tsmon,
+	// DESIGN.md §15) for the experiments that support it: windowed
+	// rollups, online detectors, and the incident flight recorder.
+	// Observe-only — simulation results are byte-identical with it on or
+	// off. The phasedload scenario monitors unconditionally (monitoring is
+	// its subject); the shardscale farm monitors when this is set.
+	Monitor bool
+	// MonPath, when set, is where supporting experiments write the
+	// machine-readable monitor report (cmd/vsocmon renders it). The
+	// shardscale farm derives one path per shard count from it.
+	MonPath string
 }
 
 // Quick returns a configuration suitable for tests and benchmarks.

@@ -76,6 +76,9 @@ func Registry() []Entry {
 		{Name: "shardscale", Bench: true,
 			Summary: "multi-guest farm under the conservative parallel scheduler: determinism check and events/s scaling across shard counts (DESIGN.md §12); -fleet adds the QoS/SLO fleet report and barrier-stall attribution (§13); excluded from -exp all",
 			Trace:   "with -fleet, writes one fleet-counter trace per shard count next to the given path"},
+		{Name: "phasedload", Bench: true,
+			Summary: "monitored phased-load scenario (steady/spike/fault/recovery) exercising the streaming telemetry engine's windowed rollups, online detectors, and incident flight recorder (DESIGN.md §15); -monout writes the monitor report for cmd/vsocmon; excluded from -exp all",
+			Trace:   "writes one flight-recorder Perfetto snippet per incident next to the given path"},
 		{Name: "tune",
 			Summary: "auto-tune the batching/fetch/prefetch config space per preset: deterministic grid + hill-climb search with constrained objectives (DESIGN.md §14, cmd/vsoctune has the full flag set); excluded from -exp all"},
 	}

@@ -10,6 +10,7 @@ import (
 	"repro/internal/hostsim"
 	"repro/internal/obs"
 	"repro/internal/sim"
+	"repro/internal/tsmon"
 	"repro/internal/workload"
 )
 
@@ -94,6 +95,14 @@ type ShardScaleRow struct {
 	// FleetTrace is the Perfetto trace file written for this row, when
 	// Config.Fleet and Config.TracePath are both set.
 	FleetTrace string
+
+	// Mon is the streaming-telemetry report, populated when Config.Monitor
+	// is set (DESIGN.md §15). Windows seal at the group's barriers, whose
+	// sequence depends only on the event stream, so the report — digest
+	// included — is byte-identical at every shard count. MonFile is the
+	// report file written for this row when Config.MonPath is also set.
+	Mon     *tsmon.MonReport
+	MonFile string
 }
 
 // ShardScaleResult is the `-exp shardscale` report.
@@ -162,6 +171,21 @@ func runShardFarm(cfg Config, shards int, lookahead *time.Duration) ShardScaleRo
 		fl = fleetobs.New(fcfg)
 	}
 
+	// Streaming telemetry (cfg.Monitor): one tsmon tenant per guest sharing
+	// the fleet QoS contracts, sealed at the group's barriers. Observe-only
+	// like the fleet layer, and composable with it through observer tees.
+	var mon *tsmon.Monitor
+	if cfg.Monitor {
+		var mcfg tsmon.Config
+		for g := 0; g < shardFarmGuests; g++ {
+			fc := shardFarmTenant(g, shardFarmCategories[g])
+			mcfg.Tenants = append(mcfg.Tenants, tsmon.TenantConfig{
+				Name: fc.Name, FPSFloor: fc.FPSFloor, M2PSLO: fc.M2PSLO,
+			})
+		}
+		mon = tsmon.New(mcfg)
+	}
+
 	var stop time.Duration
 	for g := 0; g < shardFarmGuests; g++ {
 		cat := shardFarmCategories[g]
@@ -169,10 +193,34 @@ func runShardFarm(cfg Config, shards int, lookahead *time.Duration) ShardScaleRo
 		sessions = append(sessions, sess)
 		envs = append(envs, sess.Env)
 		machs = append(machs, sess.Machine)
+		var frames []emulator.FrameObserver
+		var fetches []func(at, latency time.Duration)
 		if fl != nil {
 			tn := fl.Tenant(g)
-			sess.Emulator.FrameObs = tn
-			sess.Emulator.Manager.SetFetchObserver(tn.DemandFetch)
+			frames = append(frames, tn)
+			fetches = append(fetches, tn.DemandFetch)
+		}
+		if mon != nil {
+			mt := mon.Tenant(g)
+			frames = append(frames, mt)
+			fetches = append(fetches, mt.DemandFetch)
+			MonitorProbes(mt, sess)
+		}
+		switch len(frames) {
+		case 1:
+			sess.Emulator.FrameObs = frames[0]
+		case 2:
+			sess.Emulator.FrameObs = frameTee{frames[0], frames[1]}
+		}
+		switch len(fetches) {
+		case 1:
+			sess.Emulator.Manager.SetFetchObserver(fetches[0])
+		case 2:
+			a, b := fetches[0], fetches[1]
+			sess.Emulator.Manager.SetFetchObserver(func(at, latency time.Duration) {
+				a(at, latency)
+				b(at, latency)
+			})
 		}
 		pd, err := workload.StartEmerging(sess.Emulator, workload.DefaultSpec(cat, g, cfg.Duration))
 		if err != nil {
@@ -194,6 +242,11 @@ func runShardFarm(cfg Config, shards int, lookahead *time.Duration) ShardScaleRo
 	if fl != nil {
 		fl.Attach(grp, sh)
 	}
+	if mon != nil {
+		// Barriers are the farm's global seal points: at each one every
+		// guest has advanced to `now`, so all samples below it are recorded.
+		grp.AtBarrier(func(prev, now time.Duration) { mon.Seal(now) })
+	}
 
 	wallStart := time.Now()
 	grp.RunUntil(stop)
@@ -214,6 +267,20 @@ func runShardFarm(cfg Config, shards int, lookahead *time.Duration) ShardScaleRo
 		}
 	}
 
+	if mon != nil {
+		mon.Finalize(stop)
+		row.Mon = mon.Report()
+		if cfg.MonPath != "" {
+			path := fmt.Sprintf("%s-shards%d.json",
+				strings.TrimSuffix(cfg.MonPath, ".json"), shards)
+			if err := row.Mon.WriteJSONFile(path); err != nil {
+				row.MonFile = "error: " + err.Error()
+			} else {
+				row.MonFile = path
+			}
+		}
+	}
+
 	for _, pd := range pend {
 		r, err := pd.Wait()
 		if err != nil {
@@ -229,6 +296,25 @@ func runShardFarm(cfg Config, shards int, lookahead *time.Duration) ShardScaleRo
 		row.EventsPerSec = float64(row.Events) / s
 	}
 	return row
+}
+
+// frameTee fans one guest's frame telemetry out to two observers (fleet +
+// monitor) when both layers are active.
+type frameTee struct{ a, b emulator.FrameObserver }
+
+func (t frameTee) FramePresented(at time.Duration) {
+	t.a.FramePresented(at)
+	t.b.FramePresented(at)
+}
+
+func (t frameTee) FrameDropped(at time.Duration) {
+	t.a.FrameDropped(at)
+	t.b.FrameDropped(at)
+}
+
+func (t frameTee) MotionToPhoton(at, latency time.Duration) {
+	t.a.MotionToPhoton(at, latency)
+	t.b.MotionToPhoton(at, latency)
 }
 
 // FormatShardScale renders the sweep. The simulation columns are identical
@@ -274,6 +360,20 @@ func FormatShardScale(r *ShardScaleResult) string {
 				fmt.Fprintf(&b, "trace shards=%d %s\n", row.Shards, row.FleetTrace)
 			}
 		}
+	}
+	if len(r.Rows) > 0 && r.Rows[0].Mon != nil {
+		b.WriteString("\n")
+		for _, row := range r.Rows {
+			if row.Mon == nil {
+				continue
+			}
+			fmt.Fprintf(&b, "[shards=%d] monitor: %d window(s) sealed, %d incident(s), digest %s\n",
+				row.Shards, row.Mon.Sealed, len(row.Mon.Incidents), row.Mon.Digest)
+			if row.MonFile != "" {
+				fmt.Fprintf(&b, "  monitor report %s\n", row.MonFile)
+			}
+		}
+		b.WriteString("  (monitor reports are byte-identical across shard counts — equal digests are the §15 determinism contract)\n")
 	}
 	return b.String()
 }

@@ -247,3 +247,40 @@ func TestDisabledPathZeroAlloc(t *testing.T) {
 		t.Fatalf("steady-state tenant hooks allocate %.1f per run, want 0", allocs)
 	}
 }
+
+// TestStallAttributionSingleShard pins the degenerate scheduler shape: with
+// every guest on one shard there is no peer to wait for, yet the fleet
+// observer must still produce a report — exactly one shard row whose
+// attribution covers the window wall time, same contract as the
+// multi-shard case.
+func TestStallAttributionSingleShard(t *testing.T) {
+	envs := make([]*sim.Env, 3)
+	for i := range envs {
+		e := sim.NewEnv(int64(40 + i))
+		defer e.Close()
+		var tick func()
+		tick = func() {
+			if e.Now() < 20*time.Millisecond {
+				e.After(time.Duration(50+e.Rand().Intn(200))*time.Microsecond, tick)
+			}
+		}
+		e.After(time.Millisecond, tick)
+		envs[i] = e
+	}
+	g := sim.NewShardGroup(500*time.Microsecond, 1, envs...)
+	defer g.Close()
+	f := New(Config{Tenants: []TenantConfig{{Name: "a"}, {Name: "b"}, {Name: "c"}}})
+	f.Attach(g, nil)
+	g.RunUntil(25 * time.Millisecond)
+
+	sr := f.StallReport()
+	if sr.Windows == 0 || len(sr.Shards) != 1 {
+		t.Fatalf("stall report: %d windows, %d shards (want 1)", sr.Windows, len(sr.Shards))
+	}
+	if cov := sr.Coverage(0); cov < 0.95 {
+		t.Fatalf("single-shard coverage %.3f < 0.95\n%s", cov, sr.FormatText())
+	}
+	if !strings.Contains(sr.FormatText(), "coverage") {
+		t.Fatalf("stall table missing coverage column")
+	}
+}

@@ -113,10 +113,20 @@ func WritePerfetto(w io.Writer, t *Tracer) error {
 	if t == nil {
 		t = NewTracer()
 	}
+	return WritePerfettoEvents(w, t.names, t.Events())
+}
+
+// WritePerfettoEvents writes an explicit (track names, events) pair as
+// Chrome/Perfetto trace-event JSON — the exporter behind WritePerfetto,
+// exported so snapshots of a tracer's event ring (the tsmon incident
+// flight recorder) can be serialized without a live Tracer. Events must
+// reference tracks by index into names; out-of-range tracks render under
+// their numeric tid with no thread_name metadata.
+func WritePerfettoEvents(w io.Writer, names []string, events []Event) error {
 	bw := &errWriter{w: w}
 	bw.str(`{"displayTimeUnit":"ms","traceEvents":[` + "\n")
 	bw.str(`{"name":"process_name","ph":"M","pid":1,"tid":0,"args":{"name":"vsoc-sim"}}`)
-	for i, name := range t.names {
+	for i, name := range names {
 		bw.str(",\n")
 		bw.str(`{"name":"thread_name","ph":"M","pid":1,"tid":`)
 		bw.int(i + 1)
@@ -124,8 +134,8 @@ func WritePerfetto(w io.Writer, t *Tracer) error {
 		bw.quoted(name)
 		bw.str(`}}`)
 	}
-	for i := range t.events {
-		ev := &t.events[i]
+	for i := range events {
+		ev := &events[i]
 		tid := int(ev.Track) + 1
 		bw.str(",\n")
 		switch ev.Phase {
@@ -161,8 +171,12 @@ func WritePerfetto(w io.Writer, t *Tracer) error {
 			bw.int(tid)
 			bw.str(`}`)
 		case PhaseCounter:
+			track := ""
+			if int(ev.Track) < len(names) {
+				track = names[ev.Track]
+			}
 			bw.str(`{"name":`)
-			bw.quoted(t.names[ev.Track] + "/" + ev.Name)
+			bw.quoted(track + "/" + ev.Name)
 			bw.str(`,"ph":"C","ts":`)
 			bw.micros(ev.At.Nanoseconds())
 			bw.str(`,"pid":1,"tid":`)

@@ -1,6 +1,7 @@
 package obs
 
 import (
+	"math"
 	"time"
 
 	"repro/internal/metrics"
@@ -27,7 +28,12 @@ func NewRegistry() *Registry {
 	}
 }
 
-// Counter is a monotonically increasing integer metric.
+// Counter is a monotonically increasing integer metric. Its value is
+// clamped to [0, math.MaxInt64]: a negative Add delta (a caller folding a
+// correction, or a re-registered name re-counting from a smaller base)
+// saturates at zero instead of going negative, and a positive delta that
+// would wrap past MaxInt64 saturates there — Snapshot and the exporters
+// never see a negative or wrapped counter.
 type Counter struct{ n int64 }
 
 // Inc adds one.
@@ -35,15 +41,25 @@ func (c *Counter) Inc() {
 	if c == nil {
 		return
 	}
+	if c.n == math.MaxInt64 {
+		return
+	}
 	c.n++
 }
 
-// Add adds d.
+// Add adds d, saturating at the [0, MaxInt64] clamp (see Counter).
 func (c *Counter) Add(d int64) {
 	if c == nil {
 		return
 	}
-	c.n += d
+	n := c.n + d
+	if d > 0 && n < c.n {
+		n = math.MaxInt64
+	}
+	if n < 0 {
+		n = 0
+	}
+	c.n = n
 }
 
 // Value returns the current count (0 for a nil counter).

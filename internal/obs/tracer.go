@@ -72,6 +72,13 @@ type Tracer struct {
 	events []Event
 	nextID uint64
 
+	// Ring mode (SetLimit): once events reaches limit entries, recording
+	// wraps, overwriting the oldest — start is the ring's oldest slot.
+	// The flight-recorder mode: an always-on bounded buffer of the most
+	// recent spans, cheap enough to leave attached for a whole long run.
+	limit int
+	start int
+
 	hasWindow      bool
 	winFrom, winTo time.Duration
 }
@@ -91,6 +98,43 @@ func (t *Tracer) SetNow(fn func() time.Duration) {
 		return
 	}
 	t.now = fn
+}
+
+// SetLimit bounds the tracer to a ring of the most recent n events (the
+// incident flight-recorder mode): once n events are held, each new event
+// overwrites the oldest. n <= 0 restores unbounded recording (keeping
+// whatever the ring holds, in order). Track interning is unaffected.
+// Deterministic: the retained window is a pure function of the event
+// stream, so equal seeds keep equal rings.
+func (t *Tracer) SetLimit(n int) {
+	if t == nil {
+		return
+	}
+	if n <= 0 {
+		t.events = t.Events()
+		t.limit, t.start = 0, 0
+		return
+	}
+	// Shrinking below the held count drops the oldest surplus.
+	evs := t.Events()
+	if len(evs) > n {
+		evs = evs[len(evs)-n:]
+	}
+	t.events = evs
+	t.limit, t.start = n, 0
+}
+
+// record appends an event, honoring ring mode.
+func (t *Tracer) record(ev Event) {
+	if t.limit > 0 && len(t.events) >= t.limit {
+		t.events[t.start] = ev
+		t.start++
+		if t.start == len(t.events) {
+			t.start = 0
+		}
+		return
+	}
+	t.events = append(t.events, ev)
 }
 
 // SetWindow restricts recording to events overlapping [from, to]. Spans
@@ -164,7 +208,7 @@ func (t *Tracer) End(tk Track, sp Span) {
 	if !t.inWindow(sp.start, end) {
 		return
 	}
-	t.events = append(t.events, Event{
+	t.record(Event{
 		At: sp.start, Dur: end - sp.start, Track: tk, Phase: PhaseSpan, Name: sp.name,
 	})
 }
@@ -176,7 +220,7 @@ func (t *Tracer) SpanAt(tk Track, name string, start, dur time.Duration) {
 	if t == nil || !t.inWindow(start, start+dur) {
 		return
 	}
-	t.events = append(t.events, Event{
+	t.record(Event{
 		At: start, Dur: dur, Track: tk, Phase: PhaseSpan, Name: name,
 	})
 }
@@ -213,7 +257,7 @@ func (t *Tracer) AsyncBegin(tk Track, name string, id uint64) {
 	if !t.inWindow(at, at) {
 		return
 	}
-	t.events = append(t.events, Event{
+	t.record(Event{
 		At: at, Track: tk, Phase: PhaseAsyncBegin, Name: name, ID: id,
 	})
 }
@@ -227,7 +271,7 @@ func (t *Tracer) AsyncEnd(tk Track, name string, id uint64) {
 	if !t.inWindow(at, at) {
 		return
 	}
-	t.events = append(t.events, Event{
+	t.record(Event{
 		At: at, Track: tk, Phase: PhaseAsyncEnd, Name: name, ID: id,
 	})
 }
@@ -241,7 +285,7 @@ func (t *Tracer) Instant(tk Track, name string) {
 	if !t.inWindow(at, at) {
 		return
 	}
-	t.events = append(t.events, Event{At: at, Track: tk, Phase: PhaseInstant, Name: name})
+	t.record(Event{At: at, Track: tk, Phase: PhaseInstant, Name: name})
 }
 
 // Count records a sampled counter value. The exporter namespaces the
@@ -255,13 +299,21 @@ func (t *Tracer) Count(tk Track, name string, v float64) {
 	if !t.inWindow(at, at) {
 		return
 	}
-	t.events = append(t.events, Event{At: at, Track: tk, Phase: PhaseCounter, Name: name, Value: v})
+	t.record(Event{At: at, Track: tk, Phase: PhaseCounter, Name: name, Value: v})
 }
 
-// Events returns the recorded event stream in recording order.
+// Events returns the recorded event stream in recording order. In ring
+// mode (SetLimit) the wrapped ring is returned as a fresh ordered slice;
+// otherwise the tracer's own backing slice is returned without copying.
 func (t *Tracer) Events() []Event {
 	if t == nil {
 		return nil
 	}
-	return t.events
+	if t.start == 0 {
+		return t.events
+	}
+	out := make([]Event, 0, len(t.events))
+	out = append(out, t.events[t.start:]...)
+	out = append(out, t.events[:t.start]...)
+	return out
 }

@@ -360,6 +360,28 @@ func (e *Env) RunUntil(t Time) {
 // RunFor advances the simulation by d from the current instant.
 func (e *Env) RunFor(d Time) { e.RunUntil(e.now + d) }
 
+// RunUntilEvery is RunUntil(t) with an observer hook: fn runs at every
+// multiple of `every` on the way to t (after all events at or before that
+// instant, exactly as a plain RunUntil to the same point would leave the
+// environment). The event stream executed is identical to RunUntil(t) —
+// fn must observe only, never schedule — so attaching a windowed observer
+// (the tsmon seal loop) cannot perturb simulation results. Multiples are
+// absolute (k*every), not offsets from the current instant, matching the
+// fixed virtual-time window grid.
+func (e *Env) RunUntilEvery(t, every Time, fn func(now Time)) {
+	if every <= 0 || fn == nil {
+		e.RunUntil(t)
+		return
+	}
+	next := (e.now/every)*every + every
+	for next <= t {
+		e.RunUntil(next)
+		fn(next)
+		next += every
+	}
+	e.RunUntil(t)
+}
+
 // runWindow executes events strictly before limit (at or before it when
 // inclusive is set, for the final window of a bounded run), then advances
 // the clock to exactly limit. It is RunUntil with an exclusive bound — the

@@ -1,0 +1,76 @@
+package sim
+
+import (
+	"reflect"
+	"testing"
+	"time"
+)
+
+// chatter schedules a self-perpetuating random event chain on e and returns
+// a log that each firing appends (time, draw) to — a workload whose exact
+// trajectory depends on the env's random stream, so any perturbation of the
+// event order shows up in the log.
+func chatter(e *Env, until Time) *[]Time {
+	log := &[]Time{}
+	var tick func()
+	tick = func() {
+		d := Time(e.Rand().Intn(900)+100) * time.Microsecond
+		*log = append(*log, e.Now(), d)
+		if e.Now() < until {
+			e.After(d, tick)
+		}
+	}
+	e.After(time.Millisecond, tick)
+	return log
+}
+
+// TestRunUntilEveryMatchesRunUntil pins the RunUntilEvery contract: the
+// executed event stream is identical to a plain RunUntil to the same
+// instant, with the hook observing at every absolute multiple of the
+// period along the way.
+func TestRunUntilEveryMatchesRunUntil(t *testing.T) {
+	const stop = 20 * time.Millisecond
+	const every = 700 * time.Microsecond // deliberately not a divisor of stop
+
+	plain := NewEnv(42)
+	plainLog := chatter(plain, 15*time.Millisecond)
+	plain.RunUntil(stop)
+
+	hooked := NewEnv(42)
+	hookedLog := chatter(hooked, 15*time.Millisecond)
+	var seals []Time
+	hooked.RunUntilEvery(stop, every, func(now Time) { seals = append(seals, now) })
+
+	if plain.Now() != stop || hooked.Now() != stop {
+		t.Fatalf("clocks %v/%v, want both at %v", plain.Now(), hooked.Now(), stop)
+	}
+	if !reflect.DeepEqual(*plainLog, *hookedLog) {
+		t.Fatalf("hooked run diverged from plain run: %d vs %d log entries",
+			len(*hookedLog), len(*plainLog))
+	}
+	// Hook instants: every absolute multiple of `every` in (0, stop].
+	want := []Time{}
+	for at := every; at <= stop; at += every {
+		want = append(want, at)
+	}
+	if !reflect.DeepEqual(seals, want) {
+		t.Fatalf("hook instants %v, want multiples of %v up to %v", seals, every, stop)
+	}
+}
+
+// TestRunUntilEveryDegenerateArgs pins the fallbacks: a zero period or nil
+// hook degrades to plain RunUntil, and a hook period beyond the horizon
+// never fires.
+func TestRunUntilEveryDegenerateArgs(t *testing.T) {
+	e := NewEnv(1)
+	e.RunUntilEvery(time.Millisecond, 0, func(now Time) { t.Fatal("hook fired for zero period") })
+	e.RunUntilEvery(2*time.Millisecond, 500*time.Microsecond, nil)
+	if e.Now() != 2*time.Millisecond {
+		t.Fatalf("clock %v, want 2ms", e.Now())
+	}
+	fired := 0
+	e.RunUntilEvery(3*time.Millisecond, 10*time.Millisecond, func(now Time) { fired++ })
+	if fired != 0 || e.Now() != 3*time.Millisecond {
+		t.Fatalf("hook fired %d times past the horizon (clock %v)", fired, e.Now())
+	}
+}

@@ -1,0 +1,271 @@
+package tsmon
+
+// The detector layer: declarative specs (the same registry idiom as
+// internal/tune's knob table) instantiated per tenant as small
+// deterministic state machines, advanced once per sealed window in fixed
+// (spec, tenant) order. Three classes:
+//
+//   - burn: dual-window SLO burn rate — fires when both a fast (recent)
+//     and a slow (sustained) mean of an error-fraction signal exceed their
+//     thresholds, the standard fast/slow burn-rate pairing that ignores
+//     single-window blips but catches sustained SLO burn quickly.
+//   - drift: EWMA changepoint — tracks an EWMA mean and an EWMA absolute
+//     deviation of a window-mean signal; fires when the value departs the
+//     mean by more than K deviations (plus an absolute floor) for Consec
+//     consecutive windows. Catches regime changes with no fixed bound.
+//   - threshold: fixed bound — fires when the signal sits past Limit for
+//     Consec consecutive windows (Below inverts the comparison).
+//
+// Every fired detector enters a per-tenant holdoff for Holdoff windows so
+// one sustained episode reports one incident, not one per window.
+
+// Class names a detector family.
+type Class string
+
+// The three detector classes.
+const (
+	ClassBurn      Class = "burn"
+	ClassDrift     Class = "drift"
+	ClassThreshold Class = "threshold"
+)
+
+// Spec declares one detector. Zero parameter fields take the class
+// defaults filled in by normalize.
+type Spec struct {
+	// Name labels the detector in incidents (unique per registry).
+	Name string
+	// Class selects the state machine.
+	Class Class
+	// Signal is the watched series: a built-in signal name or
+	// "probe:<name>". Tenants missing the signal never fire it.
+	Signal string
+	// Desc is the one-line registry description.
+	Desc string
+
+	// Burn: window counts and mean-error thresholds for the fast and slow
+	// windows. Defaults 4/16 windows at 0.5/0.25.
+	FastWindows, SlowWindows int
+	FastBurn, SlowBurn       float64
+
+	// Drift: EWMA weight (default 0.25), deviation multiplier (default 5),
+	// windows of warmup before arming (default 8), and the absolute
+	// departure floor that keeps a near-zero deviation from firing on
+	// jitter (default 0.05 in the signal's unit).
+	Alpha, K, MinDelta float64
+	Warmup             int
+
+	// Threshold: the bound, its direction, and TenantLimit, which reads
+	// the bound from the tenant's FPSFloor instead (for per-tenant QoS
+	// floors declared in TenantConfig).
+	Limit       float64
+	Below       bool
+	TenantLimit bool
+
+	// Consec is how many consecutive breaching windows fire the detector
+	// (default 1 for burn, 2 for drift and threshold).
+	Consec int
+	// Holdoff suppresses re-firing for this many windows after an
+	// incident (default 16).
+	Holdoff int
+}
+
+// normalize fills class defaults in place.
+func (s *Spec) normalize() {
+	switch s.Class {
+	case ClassBurn:
+		if s.FastWindows <= 0 {
+			s.FastWindows = 4
+		}
+		if s.SlowWindows < s.FastWindows {
+			s.SlowWindows = 4 * s.FastWindows
+		}
+		if s.FastBurn <= 0 {
+			s.FastBurn = 0.5
+		}
+		if s.SlowBurn <= 0 {
+			s.SlowBurn = 0.25
+		}
+		if s.Consec <= 0 {
+			s.Consec = 1
+		}
+	case ClassDrift:
+		if s.Alpha <= 0 {
+			s.Alpha = 0.25
+		}
+		if s.K <= 0 {
+			s.K = 5
+		}
+		if s.Warmup <= 0 {
+			s.Warmup = 8
+		}
+		if s.MinDelta <= 0 {
+			s.MinDelta = 0.05
+		}
+		if s.Consec <= 0 {
+			s.Consec = 2
+		}
+	case ClassThreshold:
+		if s.Consec <= 0 {
+			s.Consec = 2
+		}
+	}
+	if s.Holdoff <= 0 {
+		s.Holdoff = 16
+	}
+}
+
+// DefaultSpecs is the stock detector registry: one detector per class,
+// wired to the QoS contract the tenant declares, plus a fence-timeout
+// tripwire for tenants that register the probe.
+func DefaultSpecs() []Spec {
+	return []Spec{
+		{Name: "slo-burn", Class: ClassBurn, Signal: "m2p_viol_frac",
+			Desc: "fast/slow dual-window motion-to-photon SLO burn rate"},
+		{Name: "fetch-drift", Class: ClassDrift, Signal: "fetch_mean_ms",
+			Desc: "EWMA changepoint on the demand-fetch window mean"},
+		{Name: "fps-floor", Class: ClassThreshold, Signal: "fps",
+			TenantLimit: true, Below: true, Consec: 3,
+			Desc: "presented FPS under the tenant's declared floor"},
+		{Name: "fence-timeouts", Class: ClassThreshold, Signal: "probe:fence_timeouts",
+			Limit: 0, Consec: 1, Holdoff: 8,
+			Desc: "any watchdog-abandoned fence waits in a window"},
+	}
+}
+
+// detState is one (spec, tenant) detector instance. All fields are plain
+// values updated in window order, so equal window series produce equal
+// firing decisions.
+type detState struct {
+	// burn: sliding ring of the last SlowWindows values.
+	ring []float64
+	head int
+	n    int
+
+	// drift.
+	mean, dev float64
+	warm      int
+
+	consec  int
+	holdoff int
+}
+
+func (d *detState) init(s *Spec) {
+	s.normalize()
+	if s.Class == ClassBurn {
+		d.ring = make([]float64, s.SlowWindows)
+	}
+}
+
+// step advances the instance with one sealed-window value and reports
+// whether it fires, returning the observed value and the bound it crossed.
+func (d *detState) step(s *Spec, tenant *TenantConfig, v float64) (fire bool, value, bound float64) {
+	if d.holdoff > 0 {
+		d.holdoff--
+	}
+	breach := false
+	switch s.Class {
+	case ClassBurn:
+		d.ring[d.head] = v
+		d.head = (d.head + 1) % len(d.ring)
+		if d.n < len(d.ring) {
+			d.n++
+		}
+		if d.n >= s.FastWindows {
+			fast := d.tailMean(s.FastWindows)
+			slow := d.tailMean(d.n)
+			breach = fast >= s.FastBurn && slow >= s.SlowBurn
+			value, bound = fast, s.FastBurn
+		}
+	case ClassDrift:
+		if d.warm < s.Warmup {
+			d.seed(s, v)
+			return false, 0, 0
+		}
+		dev := d.dev
+		margin := s.K*dev + s.MinDelta
+		delta := v - d.mean
+		if delta < 0 {
+			delta = -delta
+		}
+		breach = delta > margin
+		value, bound = v, d.mean
+		if !breach {
+			// Track the regime only while inside it: a changepoint should
+			// fire on sustained departure, not silently re-center on it.
+			d.seed(s, v)
+		}
+	case ClassThreshold:
+		limit := s.Limit
+		if s.TenantLimit {
+			limit = tenant.FPSFloor
+			if limit <= 0 {
+				return false, 0, 0
+			}
+		}
+		if s.Below {
+			breach = v < limit
+		} else {
+			breach = v > limit
+		}
+		value, bound = v, limit
+	}
+	if !breach {
+		d.consec = 0
+		return false, 0, 0
+	}
+	d.consec++
+	if d.consec < s.Consec || d.holdoff > 0 {
+		return false, 0, 0
+	}
+	d.consec = 0
+	d.holdoff = s.Holdoff
+	if s.Class == ClassDrift {
+		// Changepoint restart: re-learn the post-shift regime from scratch
+		// so a persistent new level reads as one incident, not a refire
+		// every Holdoff windows against the stale mean.
+		d.warm, d.mean, d.dev = 0, 0, 0
+	}
+	return true, value, bound
+}
+
+// seed folds v into the drift EWMAs.
+func (d *detState) seed(s *Spec, v float64) {
+	if d.warm == 0 {
+		d.mean = v
+	} else {
+		delta := v - d.mean
+		if delta < 0 {
+			delta = -delta
+		}
+		d.dev += s.Alpha * (delta - d.dev)
+		d.mean += s.Alpha * (v - d.mean)
+	}
+	if d.warm < s.Warmup {
+		d.warm++
+	}
+}
+
+// tailMean averages the most recent k ring values.
+func (d *detState) tailMean(k int) float64 {
+	var sum float64
+	for i := 1; i <= k; i++ {
+		sum += d.ring[(d.head-i+len(d.ring))%len(d.ring)]
+	}
+	return sum / float64(k)
+}
+
+// detect runs every detector over a freshly sealed (non-partial) window.
+func (m *Monitor) detect(w *Window) {
+	for si := range m.specs {
+		s := &m.specs[si]
+		for ti := range m.tenants {
+			v, ok := m.signalValue(s.Signal, w, ti)
+			if !ok {
+				continue
+			}
+			if fire, value, bound := m.dets[si][ti].step(s, &m.tenants[ti].cfg, v); fire {
+				m.record(s, ti, w, value, bound)
+			}
+		}
+	}
+}
